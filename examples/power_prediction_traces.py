@@ -1,0 +1,44 @@
+"""Reproduce Fig. 3b: predicted received power vs ground truth over time.
+
+Trains the Img+RF, Img-only and RF-only predictors, selects a validation
+window containing a line-of-sight blockage event, and prints the predicted
+traces next to the ground truth as an ASCII table (and per-scheme RMSE, both
+overall and restricted to the transition regions around power drops).
+
+Run with:  python examples/power_prediction_traces.py
+"""
+from __future__ import annotations
+
+from repro.experiments import ExperimentScale, run_fig3b
+
+
+def main() -> None:
+    scale = ExperimentScale.fast()
+    print(
+        f"Training Img+RF / Img-only / RF-only at fast scale "
+        f"({scale.num_samples} samples, {scale.image_size}x{scale.image_size} images) ..."
+    )
+    result = run_fig3b(scale)
+
+    print("\nPer-scheme accuracy over the plotted window:\n")
+    print(result.format_table())
+    print(f"\nClosest to the ground truth overall: {result.best_overall()}")
+
+    print("\nTrace (every 5th sample of the plotted window):\n")
+    names = list(result.predictions)
+    header = f"{'time (s)':>9s} {'truth':>8s} " + " ".join(
+        f"{name:>10s}" for name in names
+    )
+    print(header)
+    for index in range(0, len(result.times_s), 5):
+        row = f"{result.times_s[index]:>9.2f} {result.ground_truth_dbm[index]:>8.1f} "
+        row += " ".join(
+            f"{result.predictions[name].predictions_dbm[index]:>10.1f}"
+            for name in names
+        )
+        marker = "  <- transition" if result.transition_mask[index] else ""
+        print(row + marker)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of "One Pixel Image and RF Signal Based Split Learning for
+mmWave Received Power Prediction" (Koda et al., CoNEXT 2019 Companion).
+
+The package is organized as:
+
+* :mod:`repro.nn` — a from-scratch numpy deep-learning substrate;
+* :mod:`repro.scene` — a depth-camera corridor-scene simulator (Kinect
+  substitute);
+* :mod:`repro.mmwave` — 60 GHz link-level received-power models;
+* :mod:`repro.dataset` — synthetic replica of the paper's measured dataset;
+* :mod:`repro.channel` — the wireless link carrying the split-learning
+  cut-layer traffic;
+* :mod:`repro.split` — the core multimodal split-learning framework;
+* :mod:`repro.privacy` — MDS-based privacy-leakage metrics;
+* :mod:`repro.experiments` — runners for every figure and table of the paper.
+"""
+from repro import channel, dataset, experiments, mmwave, nn, privacy, scene, split, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "channel",
+    "dataset",
+    "experiments",
+    "mmwave",
+    "nn",
+    "privacy",
+    "scene",
+    "split",
+    "utils",
+]

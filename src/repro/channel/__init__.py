@@ -1,0 +1,31 @@
+"""Wireless channel of the split-learning (cut-layer) link."""
+from repro.channel.arq import ArqSession, ArqStatistics, StepCommunication
+from repro.channel.fading import BlockFadingProcess, ExponentialFadingProcess
+from repro.channel.link import (
+    TransmissionResult,
+    WirelessLink,
+    decoding_success_probability,
+    snr_decoding_threshold,
+)
+from repro.channel.params import (
+    PAPER_CHANNEL_PARAMS,
+    LinkParams,
+    WirelessChannelParams,
+)
+from repro.channel.payload import PayloadModel
+
+__all__ = [
+    "ArqSession",
+    "ArqStatistics",
+    "BlockFadingProcess",
+    "ExponentialFadingProcess",
+    "LinkParams",
+    "PAPER_CHANNEL_PARAMS",
+    "PayloadModel",
+    "StepCommunication",
+    "TransmissionResult",
+    "WirelessChannelParams",
+    "WirelessLink",
+    "decoding_success_probability",
+    "snr_decoding_threshold",
+]

@@ -1,0 +1,123 @@
+"""Stop-and-wait ARQ session over the split-learning link.
+
+Each training step of the split model exchanges one uplink payload (cut-layer
+activations) and one downlink payload (cut-layer gradients).  ``ArqSession``
+wraps the two :class:`~repro.channel.link.WirelessLink` directions, tracks the
+cumulative communication time, and exposes per-step and aggregate statistics
+used by the trainer's wall-clock model and by the Table 1 experiment.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.channel.link import TransmissionResult, WirelessLink
+from repro.channel.params import WirelessChannelParams
+from repro.utils.seeding import SeedLike, spawn_generators
+
+
+@dataclass
+class StepCommunication:
+    """Communication outcome of one split-learning training step."""
+
+    uplink: TransmissionResult
+    downlink: TransmissionResult
+
+    @property
+    def total_elapsed_s(self) -> float:
+        return self.uplink.elapsed_s + self.downlink.elapsed_s
+
+    @property
+    def success(self) -> bool:
+        return self.uplink.success and self.downlink.success
+
+
+@dataclass
+class ArqStatistics:
+    """Aggregate communication statistics over a training run."""
+
+    steps: int = 0
+    uplink_slots: int = 0
+    downlink_slots: int = 0
+    uplink_first_attempt_successes: int = 0
+    downlink_first_attempt_successes: int = 0
+    total_elapsed_s: float = 0.0
+
+    @property
+    def uplink_first_attempt_success_rate(self) -> float:
+        return self.uplink_first_attempt_successes / self.steps if self.steps else 0.0
+
+    @property
+    def downlink_first_attempt_success_rate(self) -> float:
+        return (
+            self.downlink_first_attempt_successes / self.steps if self.steps else 0.0
+        )
+
+    @property
+    def mean_slots_per_step(self) -> float:
+        if not self.steps:
+            return 0.0
+        return (self.uplink_slots + self.downlink_slots) / self.steps
+
+
+@dataclass
+class ArqSession:
+    """Bidirectional ARQ session between UE and BS.
+
+    Args:
+        params: the wireless channel parameters.
+        max_retransmissions: per-payload retransmission cap (``None`` retries
+            until success, matching the paper).
+        seed: RNG seed shared between the two directions (split internally).
+    """
+
+    params: WirelessChannelParams
+    max_retransmissions: int | None = None
+    seed: SeedLike = None
+    uplink: WirelessLink = field(init=False)
+    downlink: WirelessLink = field(init=False)
+    statistics: ArqStatistics = field(init=False)
+    history: List[StepCommunication] = field(init=False)
+
+    def __post_init__(self):
+        uplink_rng, downlink_rng = spawn_generators(self.seed, 2)
+        self.uplink = WirelessLink(
+            params=self.params,
+            direction="uplink",
+            max_retransmissions=self.max_retransmissions,
+            seed=uplink_rng,
+        )
+        self.downlink = WirelessLink(
+            params=self.params,
+            direction="downlink",
+            max_retransmissions=self.max_retransmissions,
+            seed=downlink_rng,
+        )
+        self.statistics = ArqStatistics()
+        self.history = []
+
+    def exchange(
+        self, uplink_payload_bits: float, downlink_payload_bits: float
+    ) -> StepCommunication:
+        """Transmit the forward payload uplink and the gradient payload downlink."""
+        uplink_result = self.uplink.transmit(uplink_payload_bits)
+        downlink_result = self.downlink.transmit(downlink_payload_bits)
+        step = StepCommunication(uplink=uplink_result, downlink=downlink_result)
+
+        self.statistics.steps += 1
+        self.statistics.uplink_slots += uplink_result.slots_used
+        self.statistics.downlink_slots += downlink_result.slots_used
+        self.statistics.uplink_first_attempt_successes += int(
+            uplink_result.first_attempt_success
+        )
+        self.statistics.downlink_first_attempt_successes += int(
+            downlink_result.first_attempt_success
+        )
+        self.statistics.total_elapsed_s += step.total_elapsed_s
+        self.history.append(step)
+        return step
+
+    def reset_statistics(self) -> None:
+        """Clear aggregate statistics and the per-step history."""
+        self.statistics = ArqStatistics()
+        self.history = []

@@ -1,0 +1,71 @@
+"""Small-scale fading of the split-learning link.
+
+The paper models the multi-path channel gain ``h_t`` as an exponential random
+variable with unit mean (i.e. Rayleigh fading in amplitude), independent and
+identically distributed across time slots.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, as_generator
+
+
+@dataclass
+class ExponentialFadingProcess:
+    """I.i.d. unit-mean exponential power fading, one draw per time slot."""
+
+    mean: float = 1.0
+    seed: SeedLike = None
+
+    def __post_init__(self):
+        if self.mean <= 0:
+            raise ValueError("mean must be strictly positive")
+        self._rng = as_generator(self.seed)
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` i.i.d. fading gains."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._rng.exponential(self.mean, size=count)
+
+    def sample_one(self) -> float:
+        """Draw a single fading gain."""
+        return float(self._rng.exponential(self.mean))
+
+
+@dataclass
+class BlockFadingProcess:
+    """Exponential fading held constant over blocks of ``block_length`` slots.
+
+    Not used by the paper's model (which is i.i.d. per slot) but provided for
+    sensitivity ablations on the channel coherence time.
+    """
+
+    block_length: int = 10
+    mean: float = 1.0
+    seed: SeedLike = None
+
+    def __post_init__(self):
+        if self.block_length <= 0:
+            raise ValueError("block_length must be strictly positive")
+        if self.mean <= 0:
+            raise ValueError("mean must be strictly positive")
+        self._rng = as_generator(self.seed)
+        self._current_gain = float(self._rng.exponential(self.mean))
+        self._slots_used = 0
+
+    def sample_one(self) -> float:
+        """Draw the gain for the next slot, refreshing every ``block_length``."""
+        if self._slots_used >= self.block_length:
+            self._current_gain = float(self._rng.exponential(self.mean))
+            self._slots_used = 0
+        self._slots_used += 1
+        return self._current_gain
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.array([self.sample_one() for _ in range(count)])

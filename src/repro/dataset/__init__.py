@@ -1,0 +1,54 @@
+"""Synthetic dataset generation, sequence building and train/val splitting."""
+from repro.dataset.cache import (
+    config_fingerprint,
+    default_cache_dir,
+    get_or_generate,
+    load_dataset,
+    save_dataset,
+)
+from repro.dataset.generator import (
+    PAPER_NUM_SAMPLES,
+    PAPER_TRAIN_BOUNDARY,
+    DatasetConfig,
+    DepthPowerDataset,
+    MmWaveDepthDatasetGenerator,
+    generate_paper_scale_dataset,
+    generate_small_dataset,
+)
+from repro.dataset.sequences import (
+    PAPER_HORIZON_S,
+    PAPER_SEQUENCE_LENGTH,
+    SequenceDataset,
+    build_sequences,
+    horizon_in_frames,
+)
+from repro.dataset.splits import (
+    PAPER_TRAIN_FRACTION,
+    TrainValidationSplit,
+    paper_split,
+    temporal_split,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "DepthPowerDataset",
+    "MmWaveDepthDatasetGenerator",
+    "PAPER_HORIZON_S",
+    "PAPER_NUM_SAMPLES",
+    "PAPER_SEQUENCE_LENGTH",
+    "PAPER_TRAIN_BOUNDARY",
+    "PAPER_TRAIN_FRACTION",
+    "SequenceDataset",
+    "TrainValidationSplit",
+    "build_sequences",
+    "config_fingerprint",
+    "default_cache_dir",
+    "generate_paper_scale_dataset",
+    "generate_small_dataset",
+    "get_or_generate",
+    "horizon_in_frames",
+    "load_dataset",
+    "paper_split",
+    "save_dataset",
+    "temporal_split",
+]

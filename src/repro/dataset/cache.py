@@ -1,0 +1,95 @@
+"""On-disk caching of generated datasets.
+
+Generating the full 13,228-sample replica takes a little while (ray casting
+one depth frame per sample), so experiments cache the result as an ``.npz``
+archive keyed by the generator configuration.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.generator import (
+    DatasetConfig,
+    DepthPowerDataset,
+    MmWaveDepthDatasetGenerator,
+)
+
+
+def save_dataset(dataset: DepthPowerDataset, path: str | os.PathLike) -> None:
+    """Persist a dataset to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        images=dataset.images,
+        powers_dbm=dataset.powers_dbm,
+        line_of_sight_blocked=dataset.line_of_sight_blocked,
+        frame_interval_s=np.array(dataset.frame_interval_s),
+        metadata=np.array(json.dumps(dataset.metadata)),
+    )
+
+
+def load_dataset(path: str | os.PathLike) -> DepthPowerDataset:
+    """Load a dataset previously stored with :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+        else:
+            raise FileNotFoundError(str(path))
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        return DepthPowerDataset(
+            images=archive["images"],
+            powers_dbm=archive["powers_dbm"],
+            line_of_sight_blocked=archive["line_of_sight_blocked"],
+            frame_interval_s=float(archive["frame_interval_s"]),
+            metadata=metadata,
+        )
+
+
+def config_fingerprint(config: DatasetConfig) -> str:
+    """Stable hash of a dataset configuration, used as the cache key."""
+    payload = json.dumps(
+        {
+            "num_samples": config.num_samples,
+            "image_height": config.image_height,
+            "image_width": config.image_width,
+            "frame_interval_s": config.frame_interval_s,
+            "link_distance_m": config.link_distance_m,
+            "mean_interarrival_s": config.mean_interarrival_s,
+            "speed_range_mps": list(config.speed_range_mps),
+            "seed": config.seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (override with the REPRO_CACHE_DIR environment variable)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-mmwave-sl"
+
+
+def get_or_generate(
+    config: DatasetConfig,
+    cache_dir: str | os.PathLike | None = None,
+    force_regenerate: bool = False,
+) -> DepthPowerDataset:
+    """Return a cached dataset for ``config``, generating and caching if needed."""
+    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    cache_path = cache_root / f"dataset-{config_fingerprint(config)}.npz"
+    if cache_path.exists() and not force_regenerate:
+        return load_dataset(cache_path)
+    dataset = MmWaveDepthDatasetGenerator(config).generate()
+    save_dataset(dataset, cache_path)
+    return dataset

@@ -1,0 +1,77 @@
+"""Experiment runners, one per table/figure of the paper plus ablations."""
+from repro.experiments.ablations import (
+    BandwidthSweepRow,
+    BlockageComparisonResult,
+    PoolingSweepRow,
+    RnnTypeRow,
+    SequenceLengthRow,
+    bandwidth_sweep,
+    blockage_model_comparison,
+    pooling_sweep,
+    rnn_type_sweep,
+    sequence_length_sweep,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    generate_dataset,
+    prepare_split,
+    scheme_model_configs,
+)
+from repro.experiments.fig2_feature_maps import (
+    Fig2Result,
+    PoolingVisualization,
+    run_fig2,
+    select_representative_frames,
+    shannon_entropy_bits,
+)
+from repro.experiments.fig3a_learning_curves import Fig3aResult, run_fig3a
+from repro.experiments.fig3b_power_prediction import (
+    Fig3bResult,
+    SchemePrediction,
+    run_fig3b,
+    select_plot_window,
+    transition_mask_from_truth,
+)
+from repro.experiments.table1_privacy_success import (
+    PAPER_TABLE1,
+    Table1Result,
+    Table1Row,
+    run_paper_success_probabilities,
+    run_table1,
+    success_probability_for_pooling,
+)
+
+__all__ = [
+    "BandwidthSweepRow",
+    "BlockageComparisonResult",
+    "ExperimentScale",
+    "Fig2Result",
+    "Fig3aResult",
+    "Fig3bResult",
+    "PAPER_TABLE1",
+    "PoolingSweepRow",
+    "PoolingVisualization",
+    "RnnTypeRow",
+    "SchemePrediction",
+    "SequenceLengthRow",
+    "Table1Result",
+    "Table1Row",
+    "bandwidth_sweep",
+    "blockage_model_comparison",
+    "generate_dataset",
+    "pooling_sweep",
+    "prepare_split",
+    "rnn_type_sweep",
+    "run_fig2",
+    "run_fig3a",
+    "run_fig3b",
+    "run_paper_success_probabilities",
+    "run_table1",
+    "scheme_model_configs",
+    "select_plot_window",
+    "select_representative_frames",
+    "sequence_length_sweep",
+    "shannon_entropy_bits",
+    "success_probability_for_pooling",
+    "transition_mask_from_truth",
+]

@@ -1,0 +1,102 @@
+"""Fig. 3a — learning curves (validation RMSE vs elapsed training time).
+
+The paper compares five schemes: Img+RF with one-pixel pooling, Img+RF with
+4x4 pooling, Img-only with both poolings, and RF-only.  The x axis is the
+*simulated elapsed training time*, which includes the transmission time of the
+cut-layer payloads over the wireless SL link, so heavier payloads (weak
+pooling) slow convergence per unit time.
+
+Expected qualitative shape (checked by the benchmark harness):
+
+* RF-only converges fastest (no communication, tiny inputs) but plateaus at a
+  higher RMSE (~3.7 dB in the paper);
+* Img+RF with one-pixel pooling reaches the lowest RMSE in the least time;
+* the 4x4-pooling variants pay more communication time per step.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataset.splits import TrainValidationSplit
+from repro.experiments.common import (
+    ExperimentScale,
+    prepare_split,
+    scheme_model_configs,
+)
+from repro.split.config import ExperimentConfig
+from repro.split.trainer import SplitTrainer, TrainingHistory
+
+
+@dataclass
+class Fig3aResult:
+    """Learning curves for every scheme."""
+
+    scale: ExperimentScale
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def summary_rows(self) -> List[dict]:
+        rows = []
+        for name, history in self.histories.items():
+            rows.append(
+                {
+                    "scheme": name,
+                    "final_rmse_db": history.final_rmse_db,
+                    "best_rmse_db": history.best_rmse_db,
+                    "elapsed_s": history.total_elapsed_s,
+                    "epochs": len(history.records),
+                    "reached_target": history.reached_target,
+                }
+            )
+        return rows
+
+    def format_table(self) -> str:
+        header = (
+            f"{'scheme':<22s} {'final RMSE':>11s} {'best RMSE':>10s} "
+            f"{'sim time':>9s} {'epochs':>7s} {'target?':>8s}"
+        )
+        lines = [header]
+        for row in self.summary_rows():
+            lines.append(
+                f"{row['scheme']:<22s} {row['final_rmse_db']:>11.2f} "
+                f"{row['best_rmse_db']:>10.2f} {row['elapsed_s']:>9.2f} "
+                f"{row['epochs']:>7d} {str(row['reached_target']):>8s}"
+            )
+        return "\n".join(lines)
+
+    def best_scheme(self) -> str:
+        """Scheme with the lowest best validation RMSE."""
+        return min(
+            self.histories, key=lambda name: self.histories[name].best_rmse_db
+        )
+
+
+def run_fig3a(
+    scale: Optional[ExperimentScale] = None,
+    split: Optional[TrainValidationSplit] = None,
+    schemes: Optional[List[str]] = None,
+) -> Fig3aResult:
+    """Train every scheme and collect the learning curves.
+
+    Args:
+        scale: experiment scale (default: :meth:`ExperimentScale.fast`).
+        split: pre-built train/validation split (regenerated when omitted).
+        schemes: restrict to a subset of scheme names (default: all five).
+    """
+    scale = scale or ExperimentScale.fast()
+    split = split if split is not None else prepare_split(scale)
+    configs = scheme_model_configs(scale)
+    if schemes is not None:
+        unknown = set(schemes) - set(configs)
+        if unknown:
+            raise ValueError(f"unknown schemes: {sorted(unknown)}")
+        configs = {name: configs[name] for name in schemes}
+
+    result = Fig3aResult(scale=scale)
+    training = scale.training_config()
+    for name, model_config in configs.items():
+        trainer = SplitTrainer(
+            ExperimentConfig(model=model_config, training=training)
+        )
+        result.histories[name] = trainer.fit(split.train, split.validation)
+    return result

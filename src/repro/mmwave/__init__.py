@@ -1,0 +1,33 @@
+"""60 GHz link-level received-power models (propagation, blockage, fading)."""
+from repro.mmwave.blockage import (
+    BlockageModel,
+    KnifeEdgeBlockageModel,
+    PiecewiseLinearBlockageModel,
+    fresnel_parameter,
+    knife_edge_loss_db,
+)
+from repro.mmwave.fading import MeasurementNoise, NakagamiFadingProcess
+from repro.mmwave.power import ReceivedPowerModel
+from repro.mmwave.propagation import (
+    OXYGEN_ABSORPTION_DB_PER_KM_60GHZ,
+    LinkBudget,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    oxygen_absorption_db,
+)
+
+__all__ = [
+    "BlockageModel",
+    "KnifeEdgeBlockageModel",
+    "LinkBudget",
+    "MeasurementNoise",
+    "NakagamiFadingProcess",
+    "OXYGEN_ABSORPTION_DB_PER_KM_60GHZ",
+    "PiecewiseLinearBlockageModel",
+    "ReceivedPowerModel",
+    "free_space_path_loss_db",
+    "fresnel_parameter",
+    "knife_edge_loss_db",
+    "log_distance_path_loss_db",
+    "oxygen_absorption_db",
+]

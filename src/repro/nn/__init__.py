@@ -1,0 +1,97 @@
+"""A small, from-scratch numpy deep-learning substrate.
+
+This package replaces the PyTorch/Keras dependency of the original paper with
+explicit forward/backward layers, which keeps the split-learning cut layer —
+the object the paper studies — visible in code.
+"""
+from repro.nn import initializers, metrics
+from repro.nn.data import ArrayDataset, DataLoader, train_validation_split
+from repro.nn.layers import (
+    AveragePool2D,
+    BatchNorm1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GRU,
+    GlobalAveragePool2D,
+    Identity,
+    LSTM,
+    Layer,
+    LayerNorm,
+    LeakyReLU,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Reshape,
+    Sequential,
+    Sigmoid,
+    SimpleRNN,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+from repro.nn.losses import (
+    HuberLoss,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    get_loss,
+)
+from repro.nn.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.nn.optim import SGD, Adam, MomentumSGD, Optimizer, RMSProp, get_optimizer
+from repro.nn.serialization import load_parameters, parameters_allclose, save_parameters
+
+__all__ = [
+    "Adam",
+    "ArrayDataset",
+    "AveragePool2D",
+    "BatchNorm1D",
+    "Conv2D",
+    "DataLoader",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GRU",
+    "GlobalAveragePool2D",
+    "HuberLoss",
+    "Identity",
+    "LSTM",
+    "Layer",
+    "LayerNorm",
+    "LeakyReLU",
+    "Loss",
+    "MaxPool2D",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "MomentumSGD",
+    "Optimizer",
+    "Parameter",
+    "RMSProp",
+    "ReLU",
+    "Reshape",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "SimpleRNN",
+    "Softplus",
+    "Tanh",
+    "get_activation",
+    "get_loss",
+    "get_optimizer",
+    "initializers",
+    "load_parameters",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "metrics",
+    "parameters_allclose",
+    "r2_score",
+    "root_mean_squared_error",
+    "save_parameters",
+    "train_validation_split",
+]

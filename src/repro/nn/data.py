@@ -1,0 +1,124 @@
+"""Dataset containers and minibatch iteration.
+
+The split-learning trainer consumes multimodal samples: an image tensor and an
+RF power sequence per time index, with a scalar target.  ``ArrayDataset``
+holds any number of aligned arrays; ``DataLoader`` draws shuffled (or
+sequential) minibatches from it.
+"""
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, as_generator
+
+
+class ArrayDataset:
+    """A tuple of aligned numpy arrays indexed along their first axis."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("ArrayDataset requires at least one array")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+        length = len(self.arrays[0])
+        for index, array in enumerate(self.arrays):
+            if len(array) != length:
+                raise ValueError(
+                    f"array {index} has length {len(array)}, expected {length}"
+                )
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return ArrayDataset(*(array[indices] for array in self.arrays))
+
+
+def train_validation_split(
+    dataset: ArrayDataset,
+    validation_fraction: float = 0.25,
+    shuffle: bool = False,
+    seed: SeedLike = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split ``dataset`` into training and validation subsets.
+
+    With ``shuffle=False`` (the paper's convention) the first samples form the
+    training set and the remaining tail forms the validation set, preserving
+    temporal ordering.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    indices = np.arange(len(dataset))
+    if shuffle:
+        as_generator(seed).shuffle(indices)
+    split_point = int(round(len(dataset) * (1.0 - validation_fraction)))
+    split_point = max(1, min(len(dataset) - 1, split_point))
+    return dataset.subset(indices[:split_point]), dataset.subset(indices[split_point:])
+
+
+class DataLoader:
+    """Iterate over minibatches of an :class:`ArrayDataset`.
+
+    Args:
+        dataset: the dataset to iterate over.
+        batch_size: number of samples per minibatch.
+        shuffle: whether to reshuffle sample order at the start of each epoch.
+        drop_last: drop the final, smaller batch when the dataset size is not a
+            multiple of ``batch_size``.
+        seed: RNG used for shuffling.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: SeedLike = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be strictly positive")
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.rng = as_generator(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            yield self.dataset[batch_indices]
+
+    def sample_batch(self, batch_size: int | None = None) -> Tuple[np.ndarray, ...]:
+        """Draw one uniformly random minibatch (with replacement across calls).
+
+        This mirrors the paper's description of minibatches "uniformly randomly
+        sampled" from the training set for each SGD step.
+        """
+        size = self.batch_size if batch_size is None else int(batch_size)
+        if size <= 0:
+            raise ValueError("batch_size must be strictly positive")
+        size = min(size, len(self.dataset))
+        batch_indices = self.rng.choice(len(self.dataset), size=size, replace=False)
+        return self.dataset[batch_indices]

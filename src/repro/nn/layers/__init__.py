@@ -1,0 +1,48 @@
+"""Neural-network layers."""
+from repro.nn.layers.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D, col2im, conv_output_size, im2col
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.normalization import BatchNorm1D, LayerNorm
+from repro.nn.layers.pooling import AveragePool2D, GlobalAveragePool2D, MaxPool2D
+from repro.nn.layers.recurrent import GRU, LSTM, SimpleRNN
+from repro.nn.layers.reshape import Flatten, Reshape
+from repro.nn.layers.sequential import Sequential
+
+__all__ = [
+    "AveragePool2D",
+    "BatchNorm1D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GRU",
+    "GlobalAveragePool2D",
+    "Identity",
+    "LSTM",
+    "Layer",
+    "LayerNorm",
+    "LeakyReLU",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "Reshape",
+    "Sequential",
+    "Sigmoid",
+    "SimpleRNN",
+    "Softplus",
+    "Tanh",
+    "col2im",
+    "conv_output_size",
+    "get_activation",
+    "im2col",
+]

@@ -1,0 +1,203 @@
+"""2-D convolution implemented with im2col.
+
+The UE-side model of the paper is a small CNN operating on depth images, so a
+single, well-tested Conv2D layer (NCHW layout, configurable stride and
+padding) is the workhorse of the image branch.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer, check_forward_called
+from repro.utils.seeding import SeedLike
+
+
+def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    """Normalize an int or 2-tuple into a 2-tuple of ints."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError("expected a 2-tuple")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Args:
+        images: array of shape ``(batch, channels, height, width)``.
+        kernel_size: ``(kh, kw)``.
+        stride: ``(sh, sw)``.
+        padding: ``(ph, pw)`` zero padding on each side.
+
+    Returns:
+        Array of shape ``(batch, channels * kh * kw, out_h * out_w)``.
+    """
+    batch, channels, height, width = images.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant"
+    )
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=images.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(batch, channels * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`, accumulating overlapping patches."""
+    batch, channels, height, width = image_shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
+    padded = np.zeros(
+        (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
+    )
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + height, pw : pw + width]
+
+
+class Conv2D(Layer):
+    """2-D convolution over inputs of shape ``(batch, channels, H, W)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | Tuple[int, int],
+        stride: int | Tuple[int, int] = 1,
+        padding: int | Tuple[int, int] | str = 0,
+        use_bias: bool = True,
+        weight_init: str = "he_uniform",
+        name: str | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        if padding == "same":
+            if any(s != 1 for s in self.stride):
+                raise ValueError("'same' padding requires stride 1")
+            if any(k % 2 == 0 for k in self.kernel_size):
+                raise ValueError("'same' padding requires odd kernel sizes")
+            self.padding = (self.kernel_size[0] // 2, self.kernel_size[1] // 2)
+        elif padding == "valid":
+            self.padding = (0, 0)
+        else:
+            self.padding = _pair(padding)
+        self.use_bias = bool(use_bias)
+
+        kh, kw = self.kernel_size
+        w_init = get_initializer(weight_init)
+        self.weight = self.add_parameter(
+            "weight", w_init((self.out_channels, self.in_channels, kh, kw), self.rng)
+        )
+        if self.use_bias:
+            self.bias = self.add_parameter(
+                "bias", np.zeros(self.out_channels, dtype=np.float64)
+            )
+        else:
+            self.bias = None
+
+        self._cols: np.ndarray | None = None
+        self._input_shape: Tuple[int, int, int, int] | None = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int, int]:
+        """Return ``(out_channels, out_h, out_w)`` for a given input size."""
+        out_h = conv_output_size(
+            height, self.kernel_size[0], self.stride[0], self.padding[0]
+        )
+        out_w = conv_output_size(
+            width, self.kernel_size[1], self.stride[1], self.padding[1]
+        )
+        return self.out_channels, out_h, out_w
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(
+                f"{self.name}: expected 4-D input (batch, channels, H, W), "
+                f"got shape {inputs.shape}"
+            )
+        if inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {inputs.shape[1]}"
+            )
+        batch, _, height, width = inputs.shape
+        _, out_h, out_w = self.output_shape(height, width)
+
+        cols = im2col(inputs, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._input_shape = inputs.shape
+
+        kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
+        # (batch, out_channels, out_h * out_w)
+        output = np.einsum("of,bfp->bop", kernel_matrix, cols, optimize=True)
+        if self.use_bias:
+            output += self.bias.value[None, :, None]
+        return output.reshape(batch, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        cols = check_forward_called(self._cols, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch = grad_output.shape[0]
+        grad_flat = grad_output.reshape(batch, self.out_channels, -1)
+
+        kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
+        grad_kernel = np.einsum("bop,bfp->of", grad_flat, cols, optimize=True)
+        self.weight.grad += grad_kernel.reshape(self.weight.value.shape)
+        if self.use_bias:
+            self.bias.grad += grad_flat.sum(axis=(0, 2))
+
+        grad_cols = np.einsum("of,bop->bfp", kernel_matrix, grad_flat, optimize=True)
+        return col2im(
+            grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
+        )

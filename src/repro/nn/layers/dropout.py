@@ -1,0 +1,37 @@
+"""Inverted dropout regularization layer."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, check_forward_called
+from repro.utils.seeding import SeedLike
+
+
+class Dropout(Layer):
+    """Inverted dropout: zeroes activations with probability ``rate`` at train
+    time and rescales the survivors so the expected activation is unchanged.
+
+    At evaluation time the layer is the identity.
+    """
+
+    def __init__(self, rate: float, name: str | None = None, seed: SeedLike = None):
+        super().__init__(name=name, seed=seed)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._mask = np.ones_like(inputs)
+            return inputs
+        keep_probability = 1.0 - self.rate
+        self._mask = (
+            self.rng.random(inputs.shape) < keep_probability
+        ) / keep_probability
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = check_forward_called(self._mask, self)
+        return np.asarray(grad_output, dtype=np.float64) * mask

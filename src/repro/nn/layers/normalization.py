@@ -1,0 +1,125 @@
+"""Normalization layers: BatchNorm1D and LayerNorm."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, check_forward_called
+
+
+class BatchNorm1D(Layer):
+    """Batch normalization over the batch axis for 2-D inputs ``(batch, features)``.
+
+    At training time statistics are computed from the minibatch and folded into
+    exponential running averages; at evaluation time the running averages are
+    used instead.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        epsilon: float = 1e-5,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma = self.add_parameter("gamma", np.ones(num_features))
+        self.beta = self.add_parameter("beta", np.zeros(num_features))
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected (batch, {self.num_features}) input, "
+                f"got {inputs.shape}"
+            )
+        if self.training:
+            mean = inputs.mean(axis=0)
+            var = inputs.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1.0 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1.0 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        normalized = (inputs - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return self.gamma.value * normalized + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        normalized, inv_std = check_forward_called(self._cache, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch = grad_output.shape[0]
+
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+
+        grad_normalized = grad_output * self.gamma.value
+        if not self.training:
+            return grad_normalized * inv_std
+        # Standard batch-norm backward for the training path.
+        grad_input = (
+            grad_normalized
+            - grad_normalized.mean(axis=0)
+            - normalized * (grad_normalized * normalized).mean(axis=0)
+        ) * inv_std
+        del batch
+        return grad_input
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, num_features: int, epsilon: float = 1e-5, name: str | None = None):
+        super().__init__(name=name)
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.epsilon = float(epsilon)
+        self.gamma = self.add_parameter("gamma", np.ones(num_features))
+        self.beta = self.add_parameter("beta", np.zeros(num_features))
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape[-1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected last dimension {self.num_features}, "
+                f"got {inputs.shape[-1]}"
+            )
+        mean = inputs.mean(axis=-1, keepdims=True)
+        var = inputs.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        normalized = (inputs - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return self.gamma.value * normalized + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        normalized, inv_std = check_forward_called(self._cache, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+
+        reduce_axes = tuple(range(grad_output.ndim - 1))
+        self.gamma.grad += (grad_output * normalized).sum(axis=reduce_axes)
+        self.beta.grad += grad_output.sum(axis=reduce_axes)
+
+        grad_normalized = grad_output * self.gamma.value
+        grad_input = (
+            grad_normalized
+            - grad_normalized.mean(axis=-1, keepdims=True)
+            - normalized
+            * (grad_normalized * normalized).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return grad_input

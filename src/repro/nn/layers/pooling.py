@@ -1,0 +1,122 @@
+"""Pooling layers.
+
+Average pooling is the compression knob of the paper: the UE pools the CNN
+output with a ``wH x wW`` window before transmitting it to the BS, trading
+feature-map resolution for uplink payload size and privacy.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, check_forward_called
+from repro.nn.layers.conv import _pair
+
+
+class AveragePool2D(Layer):
+    """Non-overlapping average pooling over ``(batch, channels, H, W)`` inputs.
+
+    The input spatial dimensions must be divisible by the pool size; this is
+    the regime used in the paper (40x40 feature maps pooled by 1, 4, 10 or 40).
+    """
+
+    def __init__(self, pool_size: int | Tuple[int, int], name: str | None = None):
+        super().__init__(name=name)
+        self.pool_size = _pair(pool_size)
+        if any(p <= 0 for p in self.pool_size):
+            raise ValueError("pool_size entries must be positive")
+        self._input_shape: Tuple[int, ...] | None = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output shape for an input of ``height x width``."""
+        ph, pw = self.pool_size
+        if height % ph != 0 or width % pw != 0:
+            raise ValueError(
+                f"{self.name}: input {height}x{width} not divisible by pool "
+                f"{ph}x{pw}"
+            )
+        return height // ph, width // pw
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = self.output_shape(height, width)
+        ph, pw = self.pool_size
+        self._input_shape = inputs.shape
+        reshaped = inputs.reshape(batch, channels, out_h, ph, out_w, pw)
+        return reshaped.mean(axis=(3, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = check_forward_called(self._input_shape, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, height, width = input_shape
+        ph, pw = self.pool_size
+        scale = 1.0 / (ph * pw)
+        grad = np.repeat(np.repeat(grad_output, ph, axis=2), pw, axis=3) * scale
+        return grad.reshape(input_shape)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling over ``(batch, channels, H, W)`` inputs."""
+
+    def __init__(self, pool_size: int | Tuple[int, int], name: str | None = None):
+        super().__init__(name=name)
+        self.pool_size = _pair(pool_size)
+        if any(p <= 0 for p in self.pool_size):
+            raise ValueError("pool_size entries must be positive")
+        self._mask: np.ndarray | None = None
+        self._input_shape: Tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        ph, pw = self.pool_size
+        if height % ph != 0 or width % pw != 0:
+            raise ValueError(
+                f"{self.name}: input {height}x{width} not divisible by pool "
+                f"{ph}x{pw}"
+            )
+        out_h, out_w = height // ph, width // pw
+        self._input_shape = inputs.shape
+        windows = inputs.reshape(batch, channels, out_h, ph, out_w, pw)
+        output = windows.max(axis=(3, 5))
+        # Mask of the (first) argmax inside each window for routing gradients.
+        self._mask = windows == output[:, :, :, None, :, None]
+        # Ties split the gradient equally between maxima.
+        self._mask = self._mask / self._mask.sum(axis=(3, 5), keepdims=True)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = check_forward_called(self._mask, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_windows = mask * grad_output[:, :, :, None, :, None]
+        return grad_windows.reshape(self._input_shape)
+
+
+class GlobalAveragePool2D(Layer):
+    """Average over the full spatial extent, returning ``(batch, channels)``."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name=name)
+        self._input_shape: Tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got {inputs.shape}")
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = check_forward_called(self._input_shape, self)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, height, width = input_shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_output[:, :, None, None] * scale, input_shape
+        ).copy()

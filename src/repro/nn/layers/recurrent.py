@@ -1,0 +1,324 @@
+"""Recurrent layers: SimpleRNN, GRU and LSTM.
+
+The BS-side model of the paper is a recurrent network that consumes a length-4
+sequence of (pooled image features, RF power) vectors and predicts the future
+received power.  All layers accept inputs of shape
+``(batch, time, features)`` and can either return only the last hidden state
+(``return_sequences=False``, the paper's configuration) or the full sequence.
+"""
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.activations import stable_sigmoid
+from repro.nn.layers.base import Layer, check_forward_called
+from repro.utils.seeding import SeedLike
+
+
+class _RecurrentBase(Layer):
+    """Shared plumbing for recurrent layers (shape checks, sequence handling)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        name: str | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.return_sequences = bool(return_sequences)
+
+    def _check_input(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"{self.name}: expected 3-D input (batch, time, features), "
+                f"got shape {inputs.shape}"
+            )
+        if inputs.shape[2] != self.input_size:
+            raise ValueError(
+                f"{self.name}: expected feature dimension {self.input_size}, "
+                f"got {inputs.shape[2]}"
+            )
+        return inputs
+
+    def _expand_output_grad(self, grad_output: np.ndarray, time_steps: int):
+        """Convert the incoming gradient into a per-time-step gradient array."""
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self.return_sequences:
+            if grad_output.ndim != 3 or grad_output.shape[1] != time_steps:
+                raise ValueError(
+                    f"{self.name}: gradient shape {grad_output.shape} does not "
+                    f"match a sequence of length {time_steps}"
+                )
+            return grad_output
+        expanded = np.zeros(
+            (grad_output.shape[0], time_steps, self.hidden_size), dtype=np.float64
+        )
+        expanded[:, -1, :] = grad_output
+        return expanded
+
+
+class SimpleRNN(_RecurrentBase):
+    """Elman RNN with tanh nonlinearity."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        kernel_init: str = "xavier_uniform",
+        recurrent_init: str = "orthogonal",
+        name: str | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(input_size, hidden_size, return_sequences, name, seed)
+        k_init = get_initializer(kernel_init)
+        r_init = get_initializer(recurrent_init)
+        self.w_x = self.add_parameter(
+            "w_x", k_init((self.input_size, self.hidden_size), self.rng)
+        )
+        self.w_h = self.add_parameter(
+            "w_h", r_init((self.hidden_size, self.hidden_size), self.rng)
+        )
+        self.bias = self.add_parameter(
+            "bias", np.zeros(self.hidden_size, dtype=np.float64)
+        )
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        batch, time_steps, _ = inputs.shape
+        hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
+        states: List[np.ndarray] = [hidden]
+        for t in range(time_steps):
+            pre = inputs[:, t, :] @ self.w_x.value + hidden @ self.w_h.value
+            hidden = np.tanh(pre + self.bias.value)
+            states.append(hidden)
+        self._cache = (inputs, states)
+        if self.return_sequences:
+            return np.stack(states[1:], axis=1)
+        return states[-1]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        inputs, states = check_forward_called(self._cache, self)
+        batch, time_steps, _ = inputs.shape
+        grad_seq = self._expand_output_grad(grad_output, time_steps)
+
+        grad_inputs = np.zeros_like(inputs)
+        grad_hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
+        for t in reversed(range(time_steps)):
+            total = grad_seq[:, t, :] + grad_hidden
+            hidden = states[t + 1]
+            prev_hidden = states[t]
+            grad_pre = total * (1.0 - hidden * hidden)
+            self.w_x.grad += inputs[:, t, :].T @ grad_pre
+            self.w_h.grad += prev_hidden.T @ grad_pre
+            self.bias.grad += grad_pre.sum(axis=0)
+            grad_inputs[:, t, :] = grad_pre @ self.w_x.value.T
+            grad_hidden = grad_pre @ self.w_h.value.T
+        return grad_inputs
+
+
+class GRU(_RecurrentBase):
+    """Gated recurrent unit (Cho et al., 2014)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        kernel_init: str = "xavier_uniform",
+        recurrent_init: str = "orthogonal",
+        name: str | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(input_size, hidden_size, return_sequences, name, seed)
+        k_init = get_initializer(kernel_init)
+        r_init = get_initializer(recurrent_init)
+        # Gates are stacked as [update z | reset r | candidate n].
+        self.w_x = self.add_parameter(
+            "w_x", k_init((self.input_size, 3 * self.hidden_size), self.rng)
+        )
+        self.w_h = self.add_parameter(
+            "w_h",
+            np.concatenate(
+                [r_init((self.hidden_size, self.hidden_size), self.rng) for _ in range(3)],
+                axis=1,
+            ),
+        )
+        self.bias = self.add_parameter(
+            "bias", np.zeros(3 * self.hidden_size, dtype=np.float64)
+        )
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        batch, time_steps, _ = inputs.shape
+        H = self.hidden_size
+        hidden = np.zeros((batch, H), dtype=np.float64)
+        states: List[np.ndarray] = [hidden]
+        gates: List[tuple] = []
+        for t in range(time_steps):
+            x_t = inputs[:, t, :]
+            x_proj = x_t @ self.w_x.value + self.bias.value
+            h_proj = hidden @ self.w_h.value
+            z = stable_sigmoid(x_proj[:, :H] + h_proj[:, :H])
+            r = stable_sigmoid(x_proj[:, H : 2 * H] + h_proj[:, H : 2 * H])
+            n = np.tanh(x_proj[:, 2 * H :] + r * h_proj[:, 2 * H :])
+            new_hidden = (1.0 - z) * n + z * hidden
+            gates.append((z, r, n, h_proj[:, 2 * H :]))
+            hidden = new_hidden
+            states.append(hidden)
+        self._cache = (inputs, states, gates)
+        if self.return_sequences:
+            return np.stack(states[1:], axis=1)
+        return states[-1]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        inputs, states, gates = check_forward_called(self._cache, self)
+        batch, time_steps, _ = inputs.shape
+        H = self.hidden_size
+        grad_seq = self._expand_output_grad(grad_output, time_steps)
+
+        grad_inputs = np.zeros_like(inputs)
+        grad_hidden = np.zeros((batch, H), dtype=np.float64)
+        for t in reversed(range(time_steps)):
+            total = grad_seq[:, t, :] + grad_hidden
+            z, r, n, h_candidate_proj = gates[t]
+            prev_hidden = states[t]
+
+            grad_n = total * (1.0 - z)
+            grad_z = total * (prev_hidden - n)
+            grad_pre_n = grad_n * (1.0 - n * n)
+            grad_pre_z = grad_z * z * (1.0 - z)
+            grad_r = grad_pre_n * h_candidate_proj
+            grad_pre_r = grad_r * r * (1.0 - r)
+
+            grad_x_proj = np.concatenate([grad_pre_z, grad_pre_r, grad_pre_n], axis=1)
+            # Hidden projection receives grad_pre_n scaled by reset gate on the
+            # candidate block, and the gate gradients on the z/r blocks.
+            grad_h_proj = np.concatenate(
+                [grad_pre_z, grad_pre_r, grad_pre_n * r], axis=1
+            )
+
+            x_t = inputs[:, t, :]
+            self.w_x.grad += x_t.T @ grad_x_proj
+            self.w_h.grad += prev_hidden.T @ grad_h_proj
+            self.bias.grad += grad_x_proj.sum(axis=0)
+
+            grad_inputs[:, t, :] = grad_x_proj @ self.w_x.value.T
+            grad_hidden = total * z + grad_h_proj @ self.w_h.value.T
+        return grad_inputs
+
+
+class LSTM(_RecurrentBase):
+    """Long short-term memory layer (Hochreiter & Schmidhuber, 1997)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        kernel_init: str = "xavier_uniform",
+        recurrent_init: str = "orthogonal",
+        forget_bias: float = 1.0,
+        name: str | None = None,
+        seed: SeedLike = None,
+    ):
+        super().__init__(input_size, hidden_size, return_sequences, name, seed)
+        k_init = get_initializer(kernel_init)
+        r_init = get_initializer(recurrent_init)
+        H = self.hidden_size
+        # Gates are stacked as [input i | forget f | cell g | output o].
+        self.w_x = self.add_parameter(
+            "w_x", k_init((self.input_size, 4 * H), self.rng)
+        )
+        self.w_h = self.add_parameter(
+            "w_h",
+            np.concatenate(
+                [r_init((H, H), self.rng) for _ in range(4)], axis=1
+            ),
+        )
+        bias = np.zeros(4 * H, dtype=np.float64)
+        bias[H : 2 * H] = float(forget_bias)
+        self.bias = self.add_parameter("bias", bias)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        batch, time_steps, _ = inputs.shape
+        H = self.hidden_size
+        hidden = np.zeros((batch, H), dtype=np.float64)
+        cell = np.zeros((batch, H), dtype=np.float64)
+        hidden_states: List[np.ndarray] = [hidden]
+        cell_states: List[np.ndarray] = [cell]
+        gates: List[tuple] = []
+        for t in range(time_steps):
+            x_t = inputs[:, t, :]
+            pre = x_t @ self.w_x.value + hidden @ self.w_h.value + self.bias.value
+            i = stable_sigmoid(pre[:, :H])
+            f = stable_sigmoid(pre[:, H : 2 * H])
+            g = np.tanh(pre[:, 2 * H : 3 * H])
+            o = stable_sigmoid(pre[:, 3 * H :])
+            cell = f * cell + i * g
+            tanh_cell = np.tanh(cell)
+            hidden = o * tanh_cell
+            gates.append((i, f, g, o, tanh_cell))
+            hidden_states.append(hidden)
+            cell_states.append(cell)
+        self._cache = (inputs, hidden_states, cell_states, gates)
+        if self.return_sequences:
+            return np.stack(hidden_states[1:], axis=1)
+        return hidden_states[-1]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        inputs, hidden_states, cell_states, gates = check_forward_called(
+            self._cache, self
+        )
+        batch, time_steps, _ = inputs.shape
+        H = self.hidden_size
+        grad_seq = self._expand_output_grad(grad_output, time_steps)
+
+        grad_inputs = np.zeros_like(inputs)
+        grad_hidden = np.zeros((batch, H), dtype=np.float64)
+        grad_cell = np.zeros((batch, H), dtype=np.float64)
+        for t in reversed(range(time_steps)):
+            total = grad_seq[:, t, :] + grad_hidden
+            i, f, g, o, tanh_cell = gates[t]
+            prev_cell = cell_states[t]
+            prev_hidden = hidden_states[t]
+
+            grad_o = total * tanh_cell
+            grad_cell_t = grad_cell + total * o * (1.0 - tanh_cell * tanh_cell)
+            grad_i = grad_cell_t * g
+            grad_g = grad_cell_t * i
+            grad_f = grad_cell_t * prev_cell
+
+            grad_pre = np.concatenate(
+                [
+                    grad_i * i * (1.0 - i),
+                    grad_f * f * (1.0 - f),
+                    grad_g * (1.0 - g * g),
+                    grad_o * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+
+            x_t = inputs[:, t, :]
+            self.w_x.grad += x_t.T @ grad_pre
+            self.w_h.grad += prev_hidden.T @ grad_pre
+            self.bias.grad += grad_pre.sum(axis=0)
+
+            grad_inputs[:, t, :] = grad_pre @ self.w_x.value.T
+            grad_hidden = grad_pre @ self.w_h.value.T
+            grad_cell = grad_cell_t * f
+        return grad_inputs

@@ -1,0 +1,58 @@
+"""Evaluation metrics used to report prediction quality.
+
+The paper reports validation accuracy as the root mean squared error (RMSE) of
+the predicted received power in dB.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(predictions, targets):
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} does not match targets "
+            f"shape {targets.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute a metric over empty arrays")
+    return predictions, targets
+
+
+def mean_squared_error(predictions, targets) -> float:
+    """Mean squared error."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def root_mean_squared_error(predictions, targets) -> float:
+    """Root mean squared error (the paper's validation metric, in dB)."""
+    return float(np.sqrt(mean_squared_error(predictions, targets)))
+
+
+def mean_absolute_error(predictions, targets) -> float:
+    """Mean absolute error."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def r2_score(predictions, targets) -> float:
+    """Coefficient of determination R^2.
+
+    Returns 0.0 when the targets are constant (undefined variance), matching
+    the convention of treating a constant predictor as the baseline.
+    """
+    predictions, targets = _validate(predictions, targets)
+    total = np.sum((targets - targets.mean()) ** 2)
+    if total == 0.0:
+        return 0.0
+    residual = np.sum((targets - predictions) ** 2)
+    return float(1.0 - residual / total)
+
+
+def max_absolute_error(predictions, targets) -> float:
+    """Worst-case absolute error, useful for tail analysis."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.max(np.abs(predictions - targets)))

@@ -1,0 +1,166 @@
+"""First-order optimizers.
+
+The paper trains with Adam (learning rate 0.001, beta1=0.9, beta2=0.999); SGD,
+momentum SGD and RMSProp are provided for ablations and tests.
+"""
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+
+
+class Optimizer:
+    """Base optimizer operating on a list of :class:`Parameter` objects."""
+
+    def __init__(self, parameters: Iterable[Parameter], learning_rate: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be strictly positive")
+        self.learning_rate = float(learning_rate)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Reset gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        self.step_count += 1
+        self._update()
+
+    def _update(self) -> None:
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clipping norm.
+        """
+        if max_norm <= 0:
+            raise ValueError("max_norm must be strictly positive")
+        total = float(
+            np.sqrt(sum(float(np.sum(p.grad**2)) for p in self.parameters))
+        )
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for param in self.parameters:
+                param.grad *= scale
+        return total
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self) -> None:
+        for param in self.parameters:
+            param.value -= self.learning_rate * param.grad
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+    ):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def _update(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * param.grad
+            param.value += velocity
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying second-moment estimate."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 0.001,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._second_moment = [np.zeros_like(p.value) for p in self.parameters]
+
+    def _update(self) -> None:
+        for param, moment in zip(self.parameters, self._second_moment):
+            moment *= self.decay
+            moment += (1.0 - self.decay) * param.grad**2
+            param.value -= (
+                self.learning_rate * param.grad / (np.sqrt(moment) + self.epsilon)
+            )
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    Defaults match the paper: learning rate 0.001, beta1=0.9, beta2=0.999.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moment = [np.zeros_like(p.value) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.value) for p in self.parameters]
+
+    def _update(self) -> None:
+        bias_correction1 = 1.0 - self.beta1**self.step_count
+        bias_correction2 = 1.0 - self.beta2**self.step_count
+        for param, m, v in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "momentum": MomentumSGD,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name: str, parameters: Iterable[Parameter], **kwargs) -> Optimizer:
+    """Instantiate an optimizer from its registry name."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise KeyError(f"unknown optimizer {name!r}; known: {known}") from exc
+    return cls(parameters, **kwargs)

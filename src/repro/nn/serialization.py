@@ -1,0 +1,45 @@
+"""Parameter (de)serialization for models built from :class:`Sequential` stacks."""
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+def save_parameters(layer: Layer, path: str | os.PathLike) -> None:
+    """Persist a layer's (or container's) parameters to a ``.npz`` file."""
+    state = layer.state_dict()
+    if not state:
+        raise ValueError(f"layer {layer.name!r} has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_parameters(layer: Layer, path: str | os.PathLike) -> None:
+    """Load parameters previously stored with :func:`save_parameters`.
+
+    Raises:
+        FileNotFoundError: if ``path`` does not exist.
+        KeyError / ValueError: if the stored state does not match the layer.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path) and not os.path.exists(path + ".npz"):
+        raise FileNotFoundError(path)
+    if not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    layer.load_state_dict(state)
+
+
+def parameters_allclose(layer_a: Layer, layer_b: Layer, atol: float = 1e-12) -> bool:
+    """Return True when two layers hold numerically identical parameters."""
+    state_a = layer_a.state_dict()
+    state_b = layer_b.state_dict()
+    if state_a.keys() != state_b.keys():
+        return False
+    return all(
+        np.allclose(state_a[key], state_b[key], atol=atol) for key in state_a
+    )

@@ -1,0 +1,151 @@
+"""Multidimensional scaling (MDS).
+
+The paper quantifies privacy leakage "with the inverse of the similarity
+between each raw image sample and its feature map at the CNN output layer
+measured by multidimensional scaling algorithm" (citing Hout et al., 2016).
+This module implements the two standard MDS flavours needed for that metric:
+
+* :func:`classical_mds` — Torgerson's classical scaling via eigendecomposition
+  of the double-centred squared-distance matrix;
+* :class:`SmacofMDS` — metric MDS by SMACOF stress majorization, matching the
+  iterative algorithm popularized in the psychometrics literature the paper
+  cites.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, as_generator
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between the rows of ``points``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array (samples x features)")
+    squared_norms = np.sum(points**2, axis=1)
+    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * points @ points.T
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
+def double_center(squared_distances: np.ndarray) -> np.ndarray:
+    """Double-centre a squared-distance matrix (the Gram matrix of classical MDS)."""
+    squared_distances = np.asarray(squared_distances, dtype=np.float64)
+    count = squared_distances.shape[0]
+    if squared_distances.shape != (count, count):
+        raise ValueError("squared_distances must be square")
+    centering = np.eye(count) - np.full((count, count), 1.0 / count)
+    return -0.5 * centering @ squared_distances @ centering
+
+
+def classical_mds(
+    distances: np.ndarray, n_components: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classical (Torgerson) MDS embedding.
+
+    Args:
+        distances: symmetric pairwise distance matrix.
+        n_components: embedding dimensionality.
+
+    Returns:
+        ``(embedding, eigenvalues)`` where ``embedding`` has shape
+        ``(n, n_components)`` and ``eigenvalues`` are the (descending) top
+        eigenvalues of the centred Gram matrix.  Non-positive eigenvalues
+        contribute zero coordinates.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    count = distances.shape[0]
+    if distances.shape != (count, count):
+        raise ValueError("distances must be a square matrix")
+    if n_components < 1 or n_components > count:
+        raise ValueError("n_components must be in [1, n]")
+    if not np.allclose(distances, distances.T, atol=1e-9):
+        raise ValueError("distances must be symmetric")
+
+    gram = double_center(distances**2)
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1][:n_components]
+    top_values = eigenvalues[order]
+    top_vectors = eigenvectors[:, order]
+    scales = np.sqrt(np.maximum(top_values, 0.0))
+    return top_vectors * scales[None, :], top_values
+
+
+def stress(distances: np.ndarray, embedding: np.ndarray) -> float:
+    """Normalized Kruskal stress-1 of an embedding against target distances."""
+    distances = np.asarray(distances, dtype=np.float64)
+    embedded = pairwise_distances(embedding)
+    numerator = np.sum((distances - embedded) ** 2)
+    denominator = np.sum(distances**2)
+    if denominator == 0.0:
+        return 0.0
+    return float(np.sqrt(numerator / denominator))
+
+
+@dataclass
+class SmacofMDS:
+    """Metric MDS via SMACOF (Scaling by MAjorizing a COmplicated Function).
+
+    Attributes:
+        n_components: embedding dimensionality.
+        max_iterations: iteration cap.
+        tolerance: relative stress-improvement threshold for convergence.
+        seed: RNG seed for the random initialization (ignored when an initial
+            configuration is supplied to :meth:`fit`).
+    """
+
+    n_components: int = 2
+    max_iterations: int = 300
+    tolerance: float = 1e-6
+    seed: SeedLike = None
+
+    def __post_init__(self):
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+
+    def fit(
+        self, distances: np.ndarray, initial: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float]:
+        """Embed ``distances`` and return ``(embedding, final stress)``."""
+        distances = np.asarray(distances, dtype=np.float64)
+        count = distances.shape[0]
+        if distances.shape != (count, count):
+            raise ValueError("distances must be a square matrix")
+        if not np.allclose(distances, distances.T, atol=1e-9):
+            raise ValueError("distances must be symmetric")
+
+        if initial is not None:
+            embedding = np.array(initial, dtype=np.float64)
+            if embedding.shape != (count, self.n_components):
+                raise ValueError("initial configuration has the wrong shape")
+        else:
+            # Classical MDS provides a good, deterministic starting point; fall
+            # back to random coordinates for degenerate inputs.
+            embedding, eigenvalues = classical_mds(distances, self.n_components)
+            if np.all(eigenvalues <= 0):
+                rng = as_generator(self.seed)
+                embedding = rng.normal(size=(count, self.n_components))
+
+        previous_stress = stress(distances, embedding)
+        for _ in range(self.max_iterations):
+            embedded = pairwise_distances(embedding)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = np.where(embedded > 0, distances / embedded, 0.0)
+            b_matrix = -ratio
+            np.fill_diagonal(b_matrix, 0.0)
+            np.fill_diagonal(b_matrix, -b_matrix.sum(axis=1))
+            embedding = (b_matrix @ embedding) / count
+            current_stress = stress(distances, embedding)
+            if abs(previous_stress - current_stress) < self.tolerance:
+                previous_stress = current_stress
+                break
+            previous_stress = current_stress
+        return embedding, previous_stress

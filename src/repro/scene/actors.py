@@ -1,0 +1,258 @@
+"""Moving actors (pedestrians) that block the mmWave link.
+
+The measured dataset of the original paper was collected in an indoor
+environment where people repeatedly walked through the line of sight between
+the 60 GHz transmitter and receiver.  The pedestrian models here reproduce
+that workload: bodies are axis-aligned boxes that cross the corridor at
+walking speed, with randomized spawn times, speeds and crossing positions.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.scene.geometry import AxisAlignedBox
+from repro.utils.seeding import SeedLike, as_generator
+
+#: Typical adult body dimensions used for the blocking box [m].
+DEFAULT_BODY_SIZE = (0.3, 0.5, 1.75)
+
+
+@dataclass
+class PedestrianState:
+    """Snapshot of a pedestrian at a given time."""
+
+    position: np.ndarray
+    velocity: np.ndarray
+    active: bool
+
+
+class Pedestrian:
+    """Base class for pedestrian trajectory models.
+
+    A pedestrian exposes :meth:`state_at` returning its position/velocity at an
+    absolute time, and :meth:`body_at` returning the axis-aligned box occupied
+    by its body (or ``None`` when the pedestrian is not in the scene).
+    """
+
+    def __init__(self, body_size=DEFAULT_BODY_SIZE):
+        self.body_size = np.asarray(body_size, dtype=np.float64)
+        if np.any(self.body_size <= 0):
+            raise ValueError("body_size entries must be positive")
+
+    def state_at(self, time_s: float) -> PedestrianState:
+        raise NotImplementedError
+
+    def body_at(self, time_s: float) -> Optional[AxisAlignedBox]:
+        """Axis-aligned box of the body at ``time_s`` or ``None`` if inactive."""
+        state = self.state_at(time_s)
+        if not state.active:
+            return None
+        # The position marks the point on the floor under the body center.
+        center = state.position + np.array([0.0, 0.0, self.body_size[2] / 2.0])
+        return AxisAlignedBox.from_center(center, self.body_size)
+
+
+class CrossingPedestrian(Pedestrian):
+    """A pedestrian walking across the corridor, perpendicular to the link.
+
+    The link is assumed to run along the x axis.  The pedestrian appears at
+    ``start_y``, walks with constant ``speed_mps`` towards ``end_y`` at a fixed
+    ``crossing_x`` position, and disappears after reaching the end point.
+
+    Args:
+        crossing_x: x coordinate at which the pedestrian crosses the link [m].
+        start_time_s: absolute time at which the walk starts [s].
+        speed_mps: walking speed [m/s]; must be positive.
+        start_y / end_y: lateral start and end positions [m].
+        body_size: (x, y, z) edge lengths of the body box [m].
+    """
+
+    def __init__(
+        self,
+        crossing_x: float,
+        start_time_s: float,
+        speed_mps: float = 1.0,
+        start_y: float = -2.0,
+        end_y: float = 2.0,
+        body_size=DEFAULT_BODY_SIZE,
+    ):
+        super().__init__(body_size)
+        if speed_mps <= 0:
+            raise ValueError("speed_mps must be strictly positive")
+        if start_y == end_y:
+            raise ValueError("start_y and end_y must differ")
+        self.crossing_x = float(crossing_x)
+        self.start_time_s = float(start_time_s)
+        self.speed_mps = float(speed_mps)
+        self.start_y = float(start_y)
+        self.end_y = float(end_y)
+
+    @property
+    def duration_s(self) -> float:
+        """Time the pedestrian spends in the scene."""
+        return abs(self.end_y - self.start_y) / self.speed_mps
+
+    @property
+    def end_time_s(self) -> float:
+        return self.start_time_s + self.duration_s
+
+    def crossing_time_s(self) -> float:
+        """Time at which the body center crosses the link line (y = 0)."""
+        fraction = abs(0.0 - self.start_y) / abs(self.end_y - self.start_y)
+        return self.start_time_s + fraction * self.duration_s
+
+    def state_at(self, time_s: float) -> PedestrianState:
+        direction = np.sign(self.end_y - self.start_y)
+        velocity = np.array([0.0, direction * self.speed_mps, 0.0])
+        if time_s < self.start_time_s or time_s > self.end_time_s:
+            position = np.array([self.crossing_x, self.start_y, 0.0])
+            return PedestrianState(position, np.zeros(3), active=False)
+        elapsed = time_s - self.start_time_s
+        y = self.start_y + direction * self.speed_mps * elapsed
+        position = np.array([self.crossing_x, y, 0.0])
+        return PedestrianState(position, velocity, active=True)
+
+
+class LoiteringPedestrian(Pedestrian):
+    """A pedestrian standing still (optionally swaying) at a fixed spot.
+
+    Useful for modelling persistent non-LoS conditions and for testing that a
+    static blocker produces a constant attenuation.
+    """
+
+    def __init__(
+        self,
+        position,
+        start_time_s: float = 0.0,
+        end_time_s: float = float("inf"),
+        sway_amplitude_m: float = 0.0,
+        sway_period_s: float = 2.0,
+        body_size=DEFAULT_BODY_SIZE,
+    ):
+        super().__init__(body_size)
+        if end_time_s <= start_time_s:
+            raise ValueError("end_time_s must exceed start_time_s")
+        if sway_period_s <= 0:
+            raise ValueError("sway_period_s must be positive")
+        self.base_position = np.asarray(position, dtype=np.float64)
+        if self.base_position.shape != (3,):
+            raise ValueError("position must be a 3-vector")
+        self.start_time_s = float(start_time_s)
+        self.end_time_s = float(end_time_s)
+        self.sway_amplitude_m = float(sway_amplitude_m)
+        self.sway_period_s = float(sway_period_s)
+
+    def state_at(self, time_s: float) -> PedestrianState:
+        active = self.start_time_s <= time_s <= self.end_time_s
+        sway = self.sway_amplitude_m * np.sin(
+            2.0 * np.pi * (time_s - self.start_time_s) / self.sway_period_s
+        )
+        position = self.base_position + np.array([0.0, sway, 0.0])
+        return PedestrianState(position, np.zeros(3), active=active)
+
+
+@dataclass
+class PedestrianTrafficConfig:
+    """Random crossing-traffic parameters for :func:`generate_crossing_traffic`.
+
+    Attributes:
+        mean_interarrival_s: mean time between consecutive crossings [s];
+            crossings follow a Poisson process with this mean spacing.
+        speed_range_mps: (min, max) uniform walking speed range.
+        crossing_x_range: (min, max) range of x positions where pedestrians
+            cross the link.
+        corridor_half_width_m: pedestrians walk from ``-half`` to ``+half`` (or
+            the reverse) in y.
+        body_size: pedestrian body box dimensions.
+    """
+
+    mean_interarrival_s: float = 4.0
+    speed_range_mps: tuple = (0.8, 1.5)
+    crossing_x_range: tuple = (1.0, 3.0)
+    corridor_half_width_m: float = 2.0
+    body_size: tuple = DEFAULT_BODY_SIZE
+
+    def __post_init__(self):
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean_interarrival_s must be positive")
+        if self.speed_range_mps[0] <= 0 or self.speed_range_mps[1] < self.speed_range_mps[0]:
+            raise ValueError("speed_range_mps must be positive and ordered")
+        if self.crossing_x_range[1] < self.crossing_x_range[0]:
+            raise ValueError("crossing_x_range must be ordered")
+        if self.corridor_half_width_m <= 0:
+            raise ValueError("corridor_half_width_m must be positive")
+
+
+def generate_crossing_traffic(
+    duration_s: float,
+    config: PedestrianTrafficConfig | None = None,
+    seed: SeedLike = None,
+) -> List[CrossingPedestrian]:
+    """Generate random crossing pedestrians over ``duration_s`` seconds.
+
+    Crossing start times follow a Poisson process; each pedestrian gets an
+    independent speed, crossing position and walking direction.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    config = config or PedestrianTrafficConfig()
+    rng = as_generator(seed)
+
+    pedestrians: List[CrossingPedestrian] = []
+    time_s = float(rng.exponential(config.mean_interarrival_s))
+    while time_s < duration_s:
+        speed = float(rng.uniform(*config.speed_range_mps))
+        crossing_x = float(rng.uniform(*config.crossing_x_range))
+        half_width = config.corridor_half_width_m
+        if rng.random() < 0.5:
+            start_y, end_y = -half_width, half_width
+        else:
+            start_y, end_y = half_width, -half_width
+        pedestrians.append(
+            CrossingPedestrian(
+                crossing_x=crossing_x,
+                start_time_s=time_s,
+                speed_mps=speed,
+                start_y=start_y,
+                end_y=end_y,
+                body_size=config.body_size,
+            )
+        )
+        time_s += float(rng.exponential(config.mean_interarrival_s))
+    return pedestrians
+
+
+def periodic_crossing_traffic(
+    duration_s: float,
+    period_s: float = 4.0,
+    first_crossing_s: float = 2.0,
+    speed_mps: float = 1.2,
+    crossing_x: float = 2.0,
+    corridor_half_width_m: float = 2.0,
+    body_size=DEFAULT_BODY_SIZE,
+) -> List[CrossingPedestrian]:
+    """Deterministic, evenly spaced crossings (useful for tests and figures)."""
+    if duration_s <= 0 or period_s <= 0:
+        raise ValueError("duration_s and period_s must be positive")
+    pedestrians = []
+    time_s = first_crossing_s
+    direction = 1
+    while time_s < duration_s:
+        start_y = -corridor_half_width_m * direction
+        end_y = corridor_half_width_m * direction
+        pedestrians.append(
+            CrossingPedestrian(
+                crossing_x=crossing_x,
+                start_time_s=time_s,
+                speed_mps=speed_mps,
+                start_y=start_y,
+                end_y=end_y,
+                body_size=body_size,
+            )
+        )
+        direction *= -1
+        time_s += period_s
+    return pedestrians

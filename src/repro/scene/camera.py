@@ -1,0 +1,149 @@
+"""Pinhole depth-camera model (Microsoft Kinect substitute).
+
+The original dataset pairs each received-power sample with a depth frame from
+a Kinect co-located with the mmWave transmitter.  ``DepthCamera`` reproduces
+the relevant behaviour: it renders a depth image (metres per pixel, clipped to
+the sensor range) of the axis-aligned boxes present in the scene by casting
+one ray per pixel.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.scene.geometry import AxisAlignedBox, Pose, ray_box_intersection
+
+
+@dataclass(frozen=True)
+class DepthCameraIntrinsics:
+    """Intrinsic parameters of the depth camera.
+
+    Attributes:
+        width / height: image resolution in pixels.
+        horizontal_fov_deg: horizontal field of view in degrees.
+        min_range_m / max_range_m: sensor range; depths outside are clipped.
+            The Kinect v1 depth sensor operates roughly between 0.5 m and 8 m.
+    """
+
+    width: int = 40
+    height: int = 40
+    horizontal_fov_deg: float = 57.0
+    min_range_m: float = 0.5
+    max_range_m: float = 8.0
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if not 0.0 < self.horizontal_fov_deg < 180.0:
+            raise ValueError("horizontal_fov_deg must be in (0, 180)")
+        if not 0.0 <= self.min_range_m < self.max_range_m:
+            raise ValueError("require 0 <= min_range_m < max_range_m")
+
+    @property
+    def vertical_fov_deg(self) -> float:
+        """Vertical field of view derived from the aspect ratio."""
+        half_horizontal = np.radians(self.horizontal_fov_deg) / 2.0
+        half_vertical = np.arctan(np.tan(half_horizontal) * self.height / self.width)
+        return float(np.degrees(2.0 * half_vertical))
+
+
+class DepthCamera:
+    """A pinhole depth camera rendering axis-aligned boxes.
+
+    Args:
+        pose: camera position and orientation in the scene frame.
+        intrinsics: resolution, field of view and range of the sensor.
+        background_depth_m: depth value assigned to pixels whose ray hits
+            nothing (defaults to the maximum range, like a saturated Kinect
+            return).
+    """
+
+    def __init__(
+        self,
+        pose: Pose,
+        intrinsics: DepthCameraIntrinsics | None = None,
+        background_depth_m: float | None = None,
+    ):
+        self.pose = pose
+        self.intrinsics = intrinsics or DepthCameraIntrinsics()
+        self.background_depth_m = (
+            self.intrinsics.max_range_m
+            if background_depth_m is None
+            else float(background_depth_m)
+        )
+        if self.background_depth_m <= 0:
+            raise ValueError("background_depth_m must be positive")
+        self._directions = self._pixel_ray_directions()
+
+    def _pixel_ray_directions(self) -> np.ndarray:
+        """Pre-compute the (height*width, 3) unit ray directions per pixel."""
+        intr = self.intrinsics
+        half_h_fov = np.radians(intr.horizontal_fov_deg) / 2.0
+        half_v_fov = np.radians(intr.vertical_fov_deg) / 2.0
+        # Pixel centers mapped onto the image plane at unit distance.
+        xs = np.tan(half_h_fov) * (
+            (np.arange(intr.width) + 0.5) / intr.width * 2.0 - 1.0
+        )
+        ys = np.tan(half_v_fov) * (
+            1.0 - (np.arange(intr.height) + 0.5) / intr.height * 2.0
+        )
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        directions = (
+            self.pose.forward[None, None, :]
+            + grid_x[:, :, None] * self.pose.right[None, None, :]
+            + grid_y[:, :, None] * self.pose.true_up[None, None, :]
+        )
+        directions = directions.reshape(-1, 3)
+        return directions / np.linalg.norm(directions, axis=1, keepdims=True)
+
+    def render(self, boxes: Iterable[AxisAlignedBox]) -> np.ndarray:
+        """Render a depth image of ``boxes``.
+
+        Returns:
+            Array of shape ``(height, width)`` with per-pixel depth in metres,
+            clipped to the sensor range; pixels with no hit carry the
+            background depth.
+        """
+        intr = self.intrinsics
+        depths = np.full(self._directions.shape[0], np.inf)
+        origins = np.broadcast_to(self.pose.position, self._directions.shape)
+        for box in boxes:
+            if box is None:
+                continue
+            hit = ray_box_intersection(origins, self._directions, box)
+            depths = np.minimum(depths, hit)
+        depths = np.where(np.isinf(depths), self.background_depth_m, depths)
+        depths = np.clip(depths, intr.min_range_m, intr.max_range_m)
+        return depths.reshape(intr.height, intr.width)
+
+    def render_normalized(self, boxes: Iterable[AxisAlignedBox]) -> np.ndarray:
+        """Render a depth image scaled to ``[0, 1]``.
+
+        0 corresponds to the minimum range (closest) and 1 to the maximum
+        range (farthest / background), the convention used by the dataset
+        generator and the CNN input pipeline.
+        """
+        intr = self.intrinsics
+        depth = self.render(boxes)
+        return (depth - intr.min_range_m) / (intr.max_range_m - intr.min_range_m)
+
+
+def default_ue_camera(
+    ue_position: Sequence[float],
+    bs_position: Sequence[float],
+    intrinsics: DepthCameraIntrinsics | None = None,
+) -> DepthCamera:
+    """Camera co-located with the UE, looking towards the BS.
+
+    This mirrors the measurement setup of the paper where the depth camera
+    observes the uplink channel from the transmitter side.
+    """
+    ue_position = np.asarray(ue_position, dtype=np.float64)
+    bs_position = np.asarray(bs_position, dtype=np.float64)
+    forward = bs_position - ue_position
+    if np.allclose(forward, 0.0):
+        raise ValueError("UE and BS positions coincide")
+    pose = Pose(position=ue_position, forward=forward)
+    return DepthCamera(pose=pose, intrinsics=intrinsics)

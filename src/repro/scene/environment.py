@@ -1,0 +1,197 @@
+"""Corridor scene combining the mmWave link endpoints, a depth camera and
+pedestrian traffic.
+
+``CorridorScene`` is the substrate that replaces the physical measurement
+environment of the paper: a transmitter (UE) and receiver (BS) separated by a
+few metres, with people repeatedly crossing the line of sight.  The scene can
+be stepped at the depth-camera frame rate to produce an aligned stream of
+depth frames and link-blockage geometry from which the mmWave power model
+derives received power samples.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.scene.actors import Pedestrian
+from repro.scene.camera import DepthCamera, DepthCameraIntrinsics, default_ue_camera
+from repro.scene.geometry import (
+    AxisAlignedBox,
+    point_segment_distance,
+    project_point_onto_segment,
+    segment_intersects_box,
+)
+
+#: Default Kinect-like frame interval used in the paper (gamma = 33 ms).
+DEFAULT_FRAME_INTERVAL_S = 0.033
+
+
+@dataclass
+class BlockerGeometry:
+    """Geometry of one pedestrian relative to the TX-RX link at one instant.
+
+    Attributes:
+        blocking: whether the body box intersects the straight LoS segment.
+        clearance_m: shortest distance from the body center line to the link
+            (0 when the body center is exactly on the link).
+        distance_from_tx_m: distance along the link of the closest point.
+        distance_from_rx_m: remaining distance to the receiver.
+        body_width_m: width of the body transverse to the link.
+    """
+
+    blocking: bool
+    clearance_m: float
+    distance_from_tx_m: float
+    distance_from_rx_m: float
+    body_width_m: float
+
+
+@dataclass
+class SceneFrame:
+    """One simulated camera frame and the associated link geometry."""
+
+    index: int
+    time_s: float
+    depth_image: np.ndarray
+    blockers: List[BlockerGeometry] = field(default_factory=list)
+
+    @property
+    def line_of_sight_blocked(self) -> bool:
+        """True when at least one pedestrian box cuts the LoS segment."""
+        return any(blocker.blocking for blocker in self.blockers)
+
+
+class CorridorScene:
+    """A corridor with a UE-BS mmWave link observed by a depth camera.
+
+    Args:
+        link_distance_m: distance ``r`` between UE and BS (the paper uses 4 m).
+        antenna_height_m: height of both antennas above the floor.
+        pedestrians: actors that may block the link.
+        frame_interval_s: camera frame interval (gamma, 33 ms in the paper).
+        camera_intrinsics: resolution / field of view of the depth camera.
+        include_walls: add side walls and a back wall so that images have a
+            static background structure.
+        corridor_half_width_m: lateral distance from the link to the walls.
+    """
+
+    def __init__(
+        self,
+        link_distance_m: float = 4.0,
+        antenna_height_m: float = 1.0,
+        pedestrians: Optional[Sequence[Pedestrian]] = None,
+        frame_interval_s: float = DEFAULT_FRAME_INTERVAL_S,
+        camera_intrinsics: DepthCameraIntrinsics | None = None,
+        include_walls: bool = True,
+        corridor_half_width_m: float = 2.5,
+    ):
+        if link_distance_m <= 0:
+            raise ValueError("link_distance_m must be positive")
+        if antenna_height_m <= 0:
+            raise ValueError("antenna_height_m must be positive")
+        if frame_interval_s <= 0:
+            raise ValueError("frame_interval_s must be positive")
+        if corridor_half_width_m <= 0:
+            raise ValueError("corridor_half_width_m must be positive")
+
+        self.link_distance_m = float(link_distance_m)
+        self.antenna_height_m = float(antenna_height_m)
+        self.frame_interval_s = float(frame_interval_s)
+        self.corridor_half_width_m = float(corridor_half_width_m)
+        self.pedestrians: List[Pedestrian] = list(pedestrians or [])
+
+        self.ue_position = np.array([0.0, 0.0, self.antenna_height_m])
+        self.bs_position = np.array(
+            [self.link_distance_m, 0.0, self.antenna_height_m]
+        )
+        self.camera: DepthCamera = default_ue_camera(
+            self.ue_position, self.bs_position, camera_intrinsics
+        )
+        self.static_boxes: List[AxisAlignedBox] = (
+            self._build_walls() if include_walls else []
+        )
+
+    def _build_walls(self) -> List[AxisAlignedBox]:
+        """Side walls plus a back wall behind the BS."""
+        length = self.link_distance_m + 2.0
+        half_width = self.corridor_half_width_m
+        wall_thickness = 0.2
+        wall_height = 3.0
+        left = AxisAlignedBox(
+            minimum=[-1.0, -half_width - wall_thickness, 0.0],
+            maximum=[length, -half_width, wall_height],
+        )
+        right = AxisAlignedBox(
+            minimum=[-1.0, half_width, 0.0],
+            maximum=[length, half_width + wall_thickness, wall_height],
+        )
+        back = AxisAlignedBox(
+            minimum=[length, -half_width - wall_thickness, 0.0],
+            maximum=[length + wall_thickness, half_width + wall_thickness, wall_height],
+        )
+        return [left, right, back]
+
+    def add_pedestrian(self, pedestrian: Pedestrian) -> None:
+        """Add an actor to the scene."""
+        self.pedestrians.append(pedestrian)
+
+    # -- geometry ----------------------------------------------------------------
+    def active_bodies(self, time_s: float) -> List[AxisAlignedBox]:
+        """Body boxes of all pedestrians active at ``time_s``."""
+        bodies = []
+        for pedestrian in self.pedestrians:
+            body = pedestrian.body_at(time_s)
+            if body is not None:
+                bodies.append(body)
+        return bodies
+
+    def blocker_geometry(self, body: AxisAlignedBox) -> BlockerGeometry:
+        """Compute link-relative geometry for one body box."""
+        blocking = segment_intersects_box(self.ue_position, self.bs_position, body)
+        center = body.center
+        clearance = point_segment_distance(center, self.ue_position, self.bs_position)
+        fraction, _ = project_point_onto_segment(
+            center, self.ue_position, self.bs_position
+        )
+        distance_from_tx = fraction * self.link_distance_m
+        body_width = float(body.size[1])
+        return BlockerGeometry(
+            blocking=blocking,
+            clearance_m=clearance,
+            distance_from_tx_m=distance_from_tx,
+            distance_from_rx_m=self.link_distance_m - distance_from_tx,
+            body_width_m=body_width,
+        )
+
+    def line_of_sight_blocked(self, time_s: float) -> bool:
+        """Whether any pedestrian blocks the LoS at ``time_s``."""
+        return any(
+            segment_intersects_box(self.ue_position, self.bs_position, body)
+            for body in self.active_bodies(time_s)
+        )
+
+    # -- frame generation ----------------------------------------------------------
+    def frame_at(self, index: int) -> SceneFrame:
+        """Render the scene at frame ``index`` (time = index * frame interval)."""
+        if index < 0:
+            raise ValueError("frame index must be non-negative")
+        time_s = index * self.frame_interval_s
+        bodies = self.active_bodies(time_s)
+        depth = self.camera.render_normalized(self.static_boxes + bodies)
+        blockers = [self.blocker_geometry(body) for body in bodies]
+        return SceneFrame(
+            index=index, time_s=time_s, depth_image=depth, blockers=blockers
+        )
+
+    def frames(self, count: int, start_index: int = 0) -> Iterator[SceneFrame]:
+        """Yield ``count`` consecutive frames starting at ``start_index``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for offset in range(count):
+            yield self.frame_at(start_index + offset)
+
+    @property
+    def frame_rate_hz(self) -> float:
+        return 1.0 / self.frame_interval_s

@@ -1,0 +1,199 @@
+"""Basic 3-D geometry primitives used by the scene simulator.
+
+The corridor scene is deliberately simple: the only solid objects are
+axis-aligned boxes (pedestrian bodies, walls), so ray casting for the depth
+camera and line-of-sight tests for the mmWave link reduce to ray/segment vs
+axis-aligned-bounding-box (AABB) intersection tests implemented with the slab
+method.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+def as_point(value) -> np.ndarray:
+    """Coerce ``value`` into a 3-vector of floats."""
+    point = np.asarray(value, dtype=np.float64)
+    if point.shape != (3,):
+        raise ValueError(f"expected a 3-D point, got shape {point.shape}")
+    return point
+
+
+@dataclass(frozen=True)
+class AxisAlignedBox:
+    """Axis-aligned box defined by its minimum and maximum corners."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "minimum", as_point(self.minimum))
+        object.__setattr__(self, "maximum", as_point(self.maximum))
+        if np.any(self.maximum < self.minimum):
+            raise ValueError("box maximum must be >= minimum in every axis")
+
+    @classmethod
+    def from_center(cls, center, size) -> "AxisAlignedBox":
+        """Build a box from its center point and edge lengths."""
+        center = as_point(center)
+        size = as_point(size)
+        if np.any(size < 0):
+            raise ValueError("box size must be non-negative")
+        half = size / 2.0
+        return cls(center - half, center + half)
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.minimum + self.maximum) / 2.0
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.maximum - self.minimum
+
+    def contains(self, point) -> bool:
+        """Whether ``point`` lies inside (or on the surface of) the box."""
+        point = as_point(point)
+        return bool(np.all(point >= self.minimum) and np.all(point <= self.maximum))
+
+    def translated(self, offset) -> "AxisAlignedBox":
+        """Return a copy of the box shifted by ``offset``."""
+        offset = as_point(offset)
+        return AxisAlignedBox(self.minimum + offset, self.maximum + offset)
+
+
+def ray_box_intersection(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    box: AxisAlignedBox,
+) -> np.ndarray:
+    """Distance along each ray to the entry point of ``box``.
+
+    Implements the slab method, vectorized over rays.
+
+    Args:
+        origins: array of shape ``(n, 3)`` (or ``(3,)``) with ray origins.
+        directions: matching array of ray directions (need not be normalized;
+            returned distances are in units of the direction vector length).
+        box: the box to intersect.
+
+    Returns:
+        Array of shape ``(n,)`` with the parametric distance ``t >= 0`` of the
+        first intersection, or ``numpy.inf`` where the ray misses the box.
+    """
+    origins = np.atleast_2d(np.asarray(origins, dtype=np.float64))
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    if origins.shape[1] != 3 or directions.shape[1] != 3:
+        raise ValueError("origins and directions must have 3 components")
+    if origins.shape[0] == 1 and directions.shape[0] > 1:
+        origins = np.broadcast_to(origins, directions.shape)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inverse = 1.0 / directions
+        t_low = (box.minimum - origins) * inverse
+        t_high = (box.maximum - origins) * inverse
+    # Where the direction component is zero the ray is parallel to the slab:
+    # it intersects only if the origin lies inside the slab.  Inside-slab rays
+    # are unconstrained by this axis (-inf / +inf); outside-slab rays can never
+    # hit the box, which we encode by an empty interval (+inf / +inf).
+    parallel = directions == 0.0
+    inside = (origins >= box.minimum) & (origins <= box.maximum)
+    t_low = np.where(parallel, np.where(inside, -np.inf, np.inf), t_low)
+    t_high = np.where(parallel, np.where(inside, np.inf, np.inf), t_high)
+
+    t_near = np.minimum(t_low, t_high).max(axis=1)
+    t_far = np.maximum(t_low, t_high).min(axis=1)
+
+    hit = (t_far >= t_near) & (t_far >= 0.0)
+    distances = np.where(t_near >= 0.0, t_near, 0.0)
+    return np.where(hit, distances, np.inf)
+
+
+def segment_intersects_box(start, end, box: AxisAlignedBox) -> bool:
+    """Whether the line segment from ``start`` to ``end`` intersects ``box``."""
+    start = as_point(start)
+    end = as_point(end)
+    direction = end - start
+    length = float(np.linalg.norm(direction))
+    if length == 0.0:
+        return box.contains(start)
+    distance = ray_box_intersection(start[None, :], direction[None, :], box)[0]
+    return bool(distance <= 1.0)
+
+
+def point_segment_distance(point, start, end) -> float:
+    """Shortest Euclidean distance from ``point`` to the segment ``start-end``."""
+    point = as_point(point)
+    start = as_point(start)
+    end = as_point(end)
+    direction = end - start
+    squared_length = float(direction @ direction)
+    if squared_length == 0.0:
+        return float(np.linalg.norm(point - start))
+    projection = float((point - start) @ direction) / squared_length
+    projection = min(1.0, max(0.0, projection))
+    closest = start + projection * direction
+    return float(np.linalg.norm(point - closest))
+
+
+def project_point_onto_segment(point, start, end) -> Tuple[float, np.ndarray]:
+    """Project ``point`` onto the segment and return ``(fraction, closest point)``.
+
+    ``fraction`` is clipped to ``[0, 1]`` and measures the position of the
+    closest point along the segment from ``start``.
+    """
+    point = as_point(point)
+    start = as_point(start)
+    end = as_point(end)
+    direction = end - start
+    squared_length = float(direction @ direction)
+    if squared_length == 0.0:
+        return 0.0, start.copy()
+    fraction = float((point - start) @ direction) / squared_length
+    fraction = min(1.0, max(0.0, fraction))
+    return fraction, start + fraction * direction
+
+
+@dataclass
+class Pose:
+    """Position and viewing direction of a sensor (the depth camera)."""
+
+    position: np.ndarray
+    forward: np.ndarray
+    up: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 1.0]))
+
+    def __post_init__(self):
+        self.position = as_point(self.position)
+        self.forward = _normalize(as_point(self.forward))
+        self.up = _normalize(as_point(self.up))
+        if abs(float(self.forward @ self.up)) > 0.999:
+            raise ValueError("forward and up directions are (nearly) collinear")
+
+    @property
+    def right(self) -> np.ndarray:
+        """Unit vector pointing to the right of the viewing direction."""
+        return _normalize(np.cross(self.forward, self.up))
+
+    @property
+    def true_up(self) -> np.ndarray:
+        """Up vector re-orthogonalized against forward."""
+        return _normalize(np.cross(self.right, self.forward))
+
+
+def _normalize(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        raise ValueError("cannot normalize the zero vector")
+    return vector / norm
+
+
+def bounding_box_of(boxes: Iterable[AxisAlignedBox]) -> AxisAlignedBox:
+    """Smallest axis-aligned box containing all ``boxes``."""
+    boxes = list(boxes)
+    if not boxes:
+        raise ValueError("bounding_box_of requires at least one box")
+    minimum = np.min([box.minimum for box in boxes], axis=0)
+    maximum = np.max([box.maximum for box in boxes], axis=0)
+    return AxisAlignedBox(minimum, maximum)

@@ -1,0 +1,49 @@
+"""Core package: the multimodal split-learning framework of the paper."""
+from repro.split.bs import BSServer
+from repro.split.config import (
+    PAPER_MAX_EPOCHS,
+    PAPER_TARGET_RMSE_DB,
+    PAPER_TOTAL_SGD_STEPS,
+    ExperimentConfig,
+    ModelConfig,
+    TrainingConfig,
+    paper_model_configs,
+)
+from repro.split.models import build_bs_rnn, build_pooling_compressor, build_ue_cnn
+from repro.split.normalization import PowerNormalizer
+from repro.split.predictors import (
+    BasePredictor,
+    ImageOnlyPredictor,
+    MultimodalSplitPredictor,
+    RFOnlyPredictor,
+    predictor_for_scheme,
+)
+from repro.split.protocol import SplitTrainingProtocol, StepResult
+from repro.split.trainer import EpochRecord, SplitTrainer, TrainingHistory
+from repro.split.ue import UEClient
+
+__all__ = [
+    "BSServer",
+    "BasePredictor",
+    "EpochRecord",
+    "ExperimentConfig",
+    "ImageOnlyPredictor",
+    "ModelConfig",
+    "MultimodalSplitPredictor",
+    "PAPER_MAX_EPOCHS",
+    "PAPER_TARGET_RMSE_DB",
+    "PAPER_TOTAL_SGD_STEPS",
+    "PowerNormalizer",
+    "RFOnlyPredictor",
+    "SplitTrainer",
+    "SplitTrainingProtocol",
+    "StepResult",
+    "TrainingConfig",
+    "TrainingHistory",
+    "UEClient",
+    "build_bs_rnn",
+    "build_pooling_compressor",
+    "build_ue_cnn",
+    "paper_model_configs",
+    "predictor_for_scheme",
+]

@@ -1,0 +1,208 @@
+"""Configuration objects for the multimodal split-learning framework."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.channel.params import PAPER_CHANNEL_PARAMS, WirelessChannelParams
+
+#: RMSE (dB) at which the paper stops training.
+PAPER_TARGET_RMSE_DB = 2.7
+
+#: Maximum number of epochs in the paper's training protocol.
+PAPER_MAX_EPOCHS = 100
+
+#: Total number of SGD steps quoted by the paper for the full run.
+PAPER_TOTAL_SGD_STEPS = 156
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of the split neural network.
+
+    Attributes:
+        image_height / image_width: raw depth-image size ``N_H x N_W``.
+        pooling_height / pooling_width: average-pooling region ``w_H x w_W``
+            applied to the CNN output before transmission.  ``40 x 40`` on a
+            40x40 image is the paper's "one-pixel" configuration.
+        cnn_channels: hidden channel counts of the UE-side CNN; the CNN always
+            maps back to a single-channel output image of the input size.
+        cnn_kernel_size: convolution kernel size (odd, 'same' padding).
+        rnn_type: ``"lstm"``, ``"gru"`` or ``"simple"``.
+        rnn_hidden_size: hidden units of the BS-side recurrent layer.
+        head_hidden_size: hidden units of the dense head after the RNN
+            (0 disables the extra layer).
+        sequence_length: RNN input sequence length ``L``.
+        use_image: include the image branch (False = RF-only baseline).
+        use_rf: include the RF power input (False = image-only baseline).
+        bits_per_value: bit depth of transmitted activations/gradients.
+    """
+
+    image_height: int = 40
+    image_width: int = 40
+    pooling_height: int = 40
+    pooling_width: int = 40
+    cnn_channels: Tuple[int, ...] = (8,)
+    cnn_kernel_size: int = 3
+    rnn_type: str = "lstm"
+    rnn_hidden_size: int = 32
+    head_hidden_size: int = 16
+    sequence_length: int = 4
+    use_image: bool = True
+    use_rf: bool = True
+    bits_per_value: int = 32
+
+    def __post_init__(self):
+        if self.image_height <= 0 or self.image_width <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.image_height % self.pooling_height != 0:
+            raise ValueError("image_height must be divisible by pooling_height")
+        if self.image_width % self.pooling_width != 0:
+            raise ValueError("image_width must be divisible by pooling_width")
+        if self.cnn_kernel_size % 2 == 0 or self.cnn_kernel_size <= 0:
+            raise ValueError("cnn_kernel_size must be a positive odd number")
+        if self.rnn_type.lower() not in ("lstm", "gru", "simple"):
+            raise ValueError("rnn_type must be one of 'lstm', 'gru', 'simple'")
+        if self.rnn_hidden_size <= 0:
+            raise ValueError("rnn_hidden_size must be positive")
+        if self.head_hidden_size < 0:
+            raise ValueError("head_hidden_size must be non-negative")
+        if self.sequence_length < 1:
+            raise ValueError("sequence_length must be at least 1")
+        if not self.use_image and not self.use_rf:
+            raise ValueError("at least one of use_image / use_rf must be True")
+        if self.bits_per_value <= 0:
+            raise ValueError("bits_per_value must be positive")
+
+    @property
+    def feature_map_height(self) -> int:
+        """Height of the pooled CNN output image."""
+        return self.image_height // self.pooling_height
+
+    @property
+    def feature_map_width(self) -> int:
+        """Width of the pooled CNN output image."""
+        return self.image_width // self.pooling_width
+
+    @property
+    def image_feature_size(self) -> int:
+        """Number of image feature values fed to the RNN per time step."""
+        if not self.use_image:
+            return 0
+        return self.feature_map_height * self.feature_map_width
+
+    @property
+    def rnn_input_size(self) -> int:
+        """Per-time-step RNN input dimensionality."""
+        return self.image_feature_size + (1 if self.use_rf else 0)
+
+    @property
+    def is_one_pixel(self) -> bool:
+        """Whether the pooled output is the paper's one-pixel configuration."""
+        return self.feature_map_height == 1 and self.feature_map_width == 1
+
+    def with_pooling(self, pooling: int | Tuple[int, int]) -> "ModelConfig":
+        """Copy of this configuration with a different pooling region."""
+        if isinstance(pooling, (tuple, list)):
+            height, width = int(pooling[0]), int(pooling[1])
+        else:
+            height = width = int(pooling)
+        return replace(self, pooling_height=height, pooling_width=width)
+
+    def describe(self) -> str:
+        """Short human-readable scheme name (as used in the paper's figures)."""
+        if not self.use_image:
+            return "RF-only"
+        pooling = f"{self.pooling_height}x{self.pooling_width}"
+        if self.is_one_pixel:
+            pooling += " (1-pixel)"
+        base = "Img+RF" if self.use_rf else "Img-only"
+        return f"{base}, pooling {pooling}"
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimization and wall-clock parameters of a split-learning run.
+
+    Attributes:
+        batch_size: minibatch size ``B`` (also enters the uplink payload).
+        learning_rate / beta1 / beta2: Adam hyper-parameters (paper values).
+        max_epochs: training stops after this many epochs at the latest.
+        steps_per_epoch: SGD steps per epoch; the paper's 100-epoch budget of
+            156 total steps corresponds to 1-2 steps per epoch.
+        target_rmse_db: validation RMSE threshold that stops training early.
+        gradient_clip_norm: global-norm gradient clipping (0 disables).
+        ue_compute_time_s / bs_compute_time_s: simulated computation time per
+            SGD step on each side; together with the simulated transmission
+            time they form the elapsed-training-time axis of Fig. 3a.
+        max_retransmissions: per-payload retransmission cap (``None`` = retry
+            until decoded, the paper's behaviour).
+        seed: RNG seed controlling weight init, batch sampling and fading.
+    """
+
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    max_epochs: int = PAPER_MAX_EPOCHS
+    steps_per_epoch: int = 2
+    target_rmse_db: float = PAPER_TARGET_RMSE_DB
+    gradient_clip_norm: float = 5.0
+    ue_compute_time_s: float = 0.020
+    bs_compute_time_s: float = 0.010
+    max_retransmissions: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        if self.max_epochs <= 0:
+            raise ValueError("max_epochs must be positive")
+        if self.steps_per_epoch <= 0:
+            raise ValueError("steps_per_epoch must be positive")
+        if self.target_rmse_db <= 0:
+            raise ValueError("target_rmse_db must be positive")
+        if self.gradient_clip_norm < 0:
+            raise ValueError("gradient_clip_norm must be non-negative")
+        if self.ue_compute_time_s < 0 or self.bs_compute_time_s < 0:
+            raise ValueError("compute times must be non-negative")
+        if self.max_retransmissions is not None and self.max_retransmissions < 0:
+            raise ValueError("max_retransmissions must be non-negative or None")
+
+    @property
+    def compute_time_per_step_s(self) -> float:
+        """Total simulated computation time charged per SGD step."""
+        return self.ue_compute_time_s + self.bs_compute_time_s
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A full experiment: architecture, training protocol and channel."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    channel: WirelessChannelParams = PAPER_CHANNEL_PARAMS
+
+    def describe(self) -> str:
+        return self.model.describe()
+
+
+def paper_model_configs(image_size: int = 40) -> dict[str, ModelConfig]:
+    """The five schemes compared in Fig. 3a of the paper.
+
+    Returns a mapping from scheme label to :class:`ModelConfig` for:
+    Img+RF 1-pixel, Img+RF 4x4, Img-only 1-pixel, Img-only 4x4 and RF-only.
+    """
+    base = ModelConfig(image_height=image_size, image_width=image_size)
+    one_pixel = (image_size, image_size)
+    return {
+        "img+rf-1pixel": base.with_pooling(one_pixel),
+        "img+rf-4x4": base.with_pooling(4),
+        "img-only-1pixel": replace(base.with_pooling(one_pixel), use_rf=False),
+        "img-only-4x4": replace(base.with_pooling(4), use_rf=False),
+        "rf-only": replace(base, use_image=False),
+    }

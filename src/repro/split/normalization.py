@@ -1,0 +1,46 @@
+"""Standardization of received-power values for neural-network training.
+
+Received powers live around -25 .. -65 dBm; training directly on those values
+makes the MSE landscape badly scaled.  The trainer standardizes both the RF
+input sequences and the prediction targets with statistics computed on the
+training split only, and converts predictions back to dBm before computing the
+reported RMSE (which is therefore still in dB, as in the paper).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerNormalizer:
+    """Affine (standardizing) transform for power values in dBm."""
+
+    mean_dbm: float
+    std_db: float
+
+    def __post_init__(self):
+        if self.std_db <= 0:
+            raise ValueError("std_db must be strictly positive")
+
+    @classmethod
+    def fit(cls, *arrays: np.ndarray) -> "PowerNormalizer":
+        """Fit mean/std over the concatenation of all given arrays."""
+        if not arrays:
+            raise ValueError("at least one array is required")
+        values = np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+        if values.size == 0:
+            raise ValueError("cannot fit a normalizer on empty data")
+        std = float(values.std())
+        if std == 0.0:
+            std = 1.0
+        return cls(mean_dbm=float(values.mean()), std_db=std)
+
+    def normalize(self, values_dbm) -> np.ndarray:
+        """Map dBm values to zero-mean / unit-variance units."""
+        return (np.asarray(values_dbm, dtype=np.float64) - self.mean_dbm) / self.std_db
+
+    def denormalize(self, values) -> np.ndarray:
+        """Map normalized values back to dBm."""
+        return np.asarray(values, dtype=np.float64) * self.std_db + self.mean_dbm

@@ -1,0 +1,200 @@
+"""The split-learning training protocol: one SGD step including communication.
+
+A training step of the multimodal split model proceeds as in Fig. 1 of the
+paper:
+
+1. the UE runs its CNN + pooling on the minibatch of image sequences;
+2. the UE transmits the pooled cut-layer activations to the BS on the uplink
+   (slot-based transmissions with retransmissions until decoded);
+3. the BS concatenates the activations with its own RF power sequence, runs
+   the RNN, computes the loss and the cut-layer gradient;
+4. the BS transmits the cut-layer gradient back on the downlink;
+5. the UE backpropagates through the CNN; both sides apply their Adam update.
+
+The simulated elapsed time of the step is the sum of both sides' computation
+time and the transmission time of both payloads, which is what produces the
+"elapsed time in training" axis of Fig. 3a.  The RF-only baseline involves no
+image branch and therefore no cut-layer communication at all (the BS measures
+the RF powers locally), so its steps only cost BS computation time.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.arq import ArqSession, StepCommunication
+from repro.channel.params import WirelessChannelParams
+from repro.channel.payload import PayloadModel
+from repro.split.bs import BSServer
+from repro.split.config import ExperimentConfig
+from repro.split.ue import UEClient
+from repro.utils.seeding import SeedLike, spawn_generators
+
+
+@dataclass
+class StepResult:
+    """Outcome of one split training step.
+
+    Attributes:
+        loss: minibatch loss (on normalized targets).
+        elapsed_s: simulated wall-clock time of the step.
+        communication: uplink/downlink transmission outcomes (``None`` for the
+            RF-only baseline which does not communicate).
+        updated: whether model parameters were updated.  A step whose uplink
+            or downlink payload could not be decoded (e.g. uncompressed
+            1x1-pooling payloads) is lost: time passes but no learning occurs.
+    """
+
+    loss: float
+    elapsed_s: float
+    communication: Optional[StepCommunication]
+    updated: bool
+
+
+class SplitTrainingProtocol:
+    """Coordinates UE and BS through training and inference steps.
+
+    Args:
+        config: full experiment configuration.
+        seed: RNG seed split between UE init, BS init and the fading processes.
+    """
+
+    def __init__(self, config: ExperimentConfig, seed: SeedLike = None):
+        self.config = config
+        seed = config.training.seed if seed is None else seed
+        ue_rng, bs_rng, channel_rng = spawn_generators(seed, 3)
+
+        model = config.model
+        self.ue: Optional[UEClient] = None
+        if model.use_image:
+            self.ue = UEClient(model, config.training, seed=ue_rng)
+        self.bs = BSServer(model, config.training, seed=bs_rng)
+
+        self.payload_model: Optional[PayloadModel] = None
+        self.arq: Optional[ArqSession] = None
+        if model.use_image:
+            self.payload_model = PayloadModel(
+                image_height=model.image_height,
+                image_width=model.image_width,
+                pooling_height=model.pooling_height,
+                pooling_width=model.pooling_width,
+                sequence_length=model.sequence_length,
+                bits_per_value=model.bits_per_value,
+            )
+            self.arq = ArqSession(
+                params=config.channel,
+                max_retransmissions=config.training.max_retransmissions,
+                seed=channel_rng,
+            )
+
+    @property
+    def channel_params(self) -> WirelessChannelParams:
+        return self.config.channel
+
+    # -- training ---------------------------------------------------------------------
+    def training_step(
+        self,
+        image_sequences: Optional[np.ndarray],
+        rf_sequences: Optional[np.ndarray],
+        targets: np.ndarray,
+    ) -> StepResult:
+        """Run one SGD step on a minibatch (already normalized inputs/targets)."""
+        training = self.config.training
+        model = self.config.model
+        batch_size = len(targets)
+        elapsed = training.bs_compute_time_s
+
+        features = None
+        communication = None
+        if model.use_image:
+            assert self.ue is not None and self.arq is not None
+            elapsed += training.ue_compute_time_s
+            features = self.ue.forward(image_sequences)
+            uplink_bits = self.payload_model.uplink_payload_bits(batch_size)
+            downlink_bits = self.payload_model.downlink_payload_bits(batch_size)
+            communication = self.arq.exchange(uplink_bits, downlink_bits)
+            elapsed += communication.total_elapsed_s
+            if not communication.success:
+                # The activations (or gradients) never got through: the step is
+                # lost.  Clear any partial gradients so they do not leak into
+                # the next update.
+                self.ue.zero_grad()
+                self.bs.zero_grad()
+                return StepResult(
+                    loss=float("nan"),
+                    elapsed_s=elapsed,
+                    communication=communication,
+                    updated=False,
+                )
+
+        loss_value, cut_gradient = self.bs.compute_loss_and_gradients(
+            features, rf_sequences if model.use_rf else None, targets
+        )
+        if model.use_image and cut_gradient is not None:
+            assert self.ue is not None
+            self.ue.backward(cut_gradient)
+            self.ue.apply_update()
+        self.bs.apply_update()
+        return StepResult(
+            loss=loss_value,
+            elapsed_s=elapsed,
+            communication=communication,
+            updated=True,
+        )
+
+    # -- inference ----------------------------------------------------------------------
+    def predict(
+        self,
+        image_sequences: Optional[np.ndarray],
+        rf_sequences: Optional[np.ndarray],
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Predict normalized received power for a set of sequences.
+
+        Inference is performed in evaluation mode and in minibatches to bound
+        memory use; no communication time is simulated (prediction payloads
+        are single feature vectors, negligible next to training payloads).
+        """
+        model = self.config.model
+        if model.use_image and image_sequences is None:
+            raise ValueError("image_sequences required by this configuration")
+        if model.use_rf and rf_sequences is None:
+            raise ValueError("rf_sequences required by this configuration")
+        count = (
+            len(image_sequences) if image_sequences is not None else len(rf_sequences)
+        )
+
+        self.eval()
+        predictions = np.empty(count)
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            features = None
+            if model.use_image:
+                assert self.ue is not None
+                features = self.ue.forward(image_sequences[start:stop])
+            rf_batch = rf_sequences[start:stop] if model.use_rf else None
+            predictions[start:stop] = self.bs.predict(features, rf_batch)
+        self.train()
+        return predictions
+
+    # -- mode switches ---------------------------------------------------------------------
+    def train(self) -> "SplitTrainingProtocol":
+        if self.ue is not None:
+            self.ue.train()
+        self.bs.train()
+        return self
+
+    def eval(self) -> "SplitTrainingProtocol":
+        if self.ue is not None:
+            self.ue.eval()
+        self.bs.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        """Total trainable parameters across both halves."""
+        total = self.bs.num_parameters()
+        if self.ue is not None:
+            total += self.ue.num_parameters()
+        return total

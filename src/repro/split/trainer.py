@@ -1,0 +1,201 @@
+"""Training loop with simulated wall-clock accounting and early stopping.
+
+``SplitTrainer`` reproduces the paper's training protocol: minibatches are
+sampled uniformly at random from the training windows, the Adam optimizer uses
+the paper's hyper-parameters, validation RMSE (in dB) is computed after every
+epoch, and training stops when the RMSE reaches the 2.7 dB target or the epoch
+budget is exhausted.  Every epoch record carries the simulated elapsed
+training time (computation + cut-layer communication), which is the x axis of
+the paper's learning curves (Fig. 3a).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channel.arq import ArqStatistics
+from repro.dataset.sequences import SequenceDataset
+from repro.nn.metrics import root_mean_squared_error
+from repro.split.config import ExperimentConfig
+from repro.split.normalization import PowerNormalizer
+from repro.split.protocol import SplitTrainingProtocol
+from repro.utils.logging import get_logger
+from repro.utils.seeding import as_generator
+
+logger = get_logger("split.trainer")
+
+
+@dataclass
+class EpochRecord:
+    """One point of the learning curve."""
+
+    epoch: int
+    elapsed_s: float
+    train_loss: float
+    validation_rmse_db: float
+    steps: int
+    lost_steps: int
+
+
+@dataclass
+class TrainingHistory:
+    """Full record of one training run.
+
+    Attributes:
+        scheme: human-readable scheme label (e.g. ``"Img+RF, pooling 40x40"``).
+        records: per-epoch learning-curve points.
+        reached_target: whether the RMSE target stopped training early.
+        total_elapsed_s: simulated wall-clock time of the whole run.
+        communication: aggregate ARQ statistics (``None`` for RF-only).
+    """
+
+    scheme: str
+    records: List[EpochRecord] = field(default_factory=list)
+    reached_target: bool = False
+    total_elapsed_s: float = 0.0
+    communication: Optional[ArqStatistics] = None
+
+    @property
+    def final_rmse_db(self) -> float:
+        if not self.records:
+            return float("nan")
+        return self.records[-1].validation_rmse_db
+
+    @property
+    def best_rmse_db(self) -> float:
+        if not self.records:
+            return float("nan")
+        return min(record.validation_rmse_db for record in self.records)
+
+    @property
+    def elapsed_times_s(self) -> np.ndarray:
+        return np.array([record.elapsed_s for record in self.records])
+
+    @property
+    def validation_rmse_curve_db(self) -> np.ndarray:
+        return np.array([record.validation_rmse_db for record in self.records])
+
+    def time_to_reach_db(self, rmse_db: float) -> float:
+        """Simulated time needed to first reach ``rmse_db`` (inf if never)."""
+        for record in self.records:
+            if record.validation_rmse_db <= rmse_db:
+                return record.elapsed_s
+        return float("inf")
+
+
+class SplitTrainer:
+    """Trains a split model on sequence datasets with simulated wall-clock time.
+
+    Args:
+        config: experiment configuration (model, training protocol, channel).
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.protocol = SplitTrainingProtocol(config)
+        self.normalizer: Optional[PowerNormalizer] = None
+        self._rng = as_generator(config.training.seed)
+
+    # -- data preparation -------------------------------------------------------------
+    def _prepare_inputs(self, sequences: SequenceDataset):
+        """Normalize powers and targets; images are already in [0, 1]."""
+        assert self.normalizer is not None
+        model = self.config.model
+        images = sequences.image_sequences if model.use_image else None
+        powers = (
+            self.normalizer.normalize(sequences.power_sequences)
+            if model.use_rf
+            else None
+        )
+        targets = self.normalizer.normalize(sequences.targets)
+        return images, powers, targets
+
+    # -- training -----------------------------------------------------------------------
+    def fit(
+        self,
+        train: SequenceDataset,
+        validation: SequenceDataset,
+        max_epochs: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Train until the validation RMSE target or the epoch budget is hit."""
+        training = self.config.training
+        model = self.config.model
+        max_epochs = training.max_epochs if max_epochs is None else max_epochs
+
+        self.normalizer = PowerNormalizer.fit(train.power_sequences, train.targets)
+        train_images, train_powers, train_targets = self._prepare_inputs(train)
+
+        history = TrainingHistory(scheme=model.describe())
+        elapsed_s = 0.0
+        batch_size = min(training.batch_size, len(train))
+
+        for epoch in range(1, max_epochs + 1):
+            epoch_losses: List[float] = []
+            lost_steps = 0
+            for _ in range(training.steps_per_epoch):
+                batch_indices = self._rng.choice(
+                    len(train), size=batch_size, replace=False
+                )
+                image_batch = (
+                    train_images[batch_indices] if train_images is not None else None
+                )
+                power_batch = (
+                    train_powers[batch_indices] if train_powers is not None else None
+                )
+                target_batch = train_targets[batch_indices]
+                result = self.protocol.training_step(
+                    image_batch, power_batch, target_batch
+                )
+                elapsed_s += result.elapsed_s
+                if result.updated:
+                    epoch_losses.append(result.loss)
+                else:
+                    lost_steps += 1
+
+            validation_rmse = self.evaluate(validation)
+            record = EpochRecord(
+                epoch=epoch,
+                elapsed_s=elapsed_s,
+                train_loss=float(np.mean(epoch_losses)) if epoch_losses else float("nan"),
+                validation_rmse_db=validation_rmse,
+                steps=training.steps_per_epoch,
+                lost_steps=lost_steps,
+            )
+            history.records.append(record)
+            logger.debug(
+                "%s epoch %d: elapsed %.2fs, val RMSE %.2f dB",
+                history.scheme,
+                epoch,
+                elapsed_s,
+                validation_rmse,
+            )
+            if validation_rmse <= training.target_rmse_db:
+                history.reached_target = True
+                break
+
+        history.total_elapsed_s = elapsed_s
+        if self.protocol.arq is not None:
+            history.communication = self.protocol.arq.statistics
+        return history
+
+    # -- evaluation -----------------------------------------------------------------------
+    def predict_dbm(self, sequences: SequenceDataset) -> np.ndarray:
+        """Predict received power in dBm for every window of ``sequences``."""
+        if self.normalizer is None:
+            raise RuntimeError("the trainer has not been fitted yet")
+        model = self.config.model
+        images = sequences.image_sequences if model.use_image else None
+        powers = (
+            self.normalizer.normalize(sequences.power_sequences)
+            if model.use_rf
+            else None
+        )
+        normalized = self.protocol.predict(images, powers)
+        return self.normalizer.denormalize(normalized)
+
+    def evaluate(self, sequences: SequenceDataset) -> float:
+        """Validation RMSE in dB (predictions and targets in dBm)."""
+        predictions = self.predict_dbm(sequences)
+        return root_mean_squared_error(predictions, sequences.targets)

@@ -1,0 +1,35 @@
+"""Shared utilities: unit conversions, seeding and logging."""
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.units import (
+    SPEED_OF_LIGHT,
+    THERMAL_NOISE_DBM_PER_HZ,
+    db_to_linear,
+    dbm_to_milliwatts,
+    dbm_to_watts,
+    frequency_to_wavelength,
+    linear_to_db,
+    milliwatts_to_dbm,
+    noise_power_dbm,
+    watts_to_dbm,
+)
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "THERMAL_NOISE_DBM_PER_HZ",
+    "as_generator",
+    "db_to_linear",
+    "dbm_to_milliwatts",
+    "dbm_to_watts",
+    "disable_console_logging",
+    "enable_console_logging",
+    "frequency_to_wavelength",
+    "get_logger",
+    "linear_to_db",
+    "milliwatts_to_dbm",
+    "noise_power_dbm",
+    "spawn_generators",
+    "watts_to_dbm",
+]
+
+from repro.utils.logging import disable_console_logging  # noqa: E402

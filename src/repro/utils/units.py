@@ -1,0 +1,92 @@
+"""Unit conversions and physical constants used across the library.
+
+The mmWave propagation and wireless-channel modules work in decibel units
+(dB, dBm) while the numerical models need linear quantities (watts, ratios).
+These helpers keep the conversions explicit and in one place.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_CONSTANT = 1.380_649e-23
+
+#: Reference temperature for thermal-noise computations [K].
+REFERENCE_TEMPERATURE = 290.0
+
+#: Thermal noise power spectral density at 290 K [dBm/Hz] (approx. -174).
+THERMAL_NOISE_DBM_PER_HZ = 10.0 * np.log10(
+    BOLTZMANN_CONSTANT * REFERENCE_TEMPERATURE * 1e3
+)
+
+
+def db_to_linear(value_db):
+    """Convert a power ratio expressed in dB to a linear ratio."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value_linear):
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if any element is not strictly positive.
+    """
+    value = np.asarray(value_linear, dtype=float)
+    if np.any(value <= 0):
+        raise ValueError("linear power ratio must be strictly positive")
+    return 10.0 * np.log10(value)
+
+
+def dbm_to_watts(value_dbm):
+    """Convert a power level in dBm to watts."""
+    return np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(value_watts):
+    """Convert a power level in watts to dBm.
+
+    Raises:
+        ValueError: if any element is not strictly positive.
+    """
+    value = np.asarray(value_watts, dtype=float)
+    if np.any(value <= 0):
+        raise ValueError("power in watts must be strictly positive")
+    return 10.0 * np.log10(value) + 30.0
+
+
+def dbm_to_milliwatts(value_dbm):
+    """Convert a power level in dBm to milliwatts."""
+    return np.power(10.0, np.asarray(value_dbm, dtype=float) / 10.0)
+
+
+def milliwatts_to_dbm(value_mw):
+    """Convert a power level in milliwatts to dBm."""
+    value = np.asarray(value_mw, dtype=float)
+    if np.any(value <= 0):
+        raise ValueError("power in milliwatts must be strictly positive")
+    return 10.0 * np.log10(value)
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Return the wavelength in metres for a carrier frequency in hertz."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be strictly positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` including a noise figure.
+
+    Args:
+        bandwidth_hz: receiver bandwidth in hertz.
+        noise_figure_db: receiver noise figure in dB.
+
+    Returns:
+        Noise power in dBm.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be strictly positive")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db

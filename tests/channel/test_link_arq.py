@@ -1,0 +1,168 @@
+"""Tests for fading, link decoding and the ARQ session."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    ArqSession,
+    BlockFadingProcess,
+    ExponentialFadingProcess,
+    PAPER_CHANNEL_PARAMS,
+    PayloadModel,
+    WirelessLink,
+    decoding_success_probability,
+    snr_decoding_threshold,
+)
+
+
+def test_exponential_fading_unit_mean():
+    process = ExponentialFadingProcess(seed=0)
+    samples = process.sample(50000)
+    assert samples.mean() == pytest.approx(1.0, abs=0.02)
+    assert np.all(samples >= 0.0)
+
+
+def test_exponential_fading_reproducible():
+    a = ExponentialFadingProcess(seed=3).sample(10)
+    b = ExponentialFadingProcess(seed=3).sample(10)
+    assert np.allclose(a, b)
+    with pytest.raises(ValueError):
+        ExponentialFadingProcess(mean=0.0)
+
+
+def test_block_fading_constant_within_block():
+    process = BlockFadingProcess(block_length=5, seed=0)
+    samples = process.sample(10)
+    assert len(np.unique(samples[:5])) == 1
+    assert len(np.unique(samples)) == 2
+    with pytest.raises(ValueError):
+        BlockFadingProcess(block_length=0)
+
+
+def test_snr_threshold_shannon_form():
+    # tau W = 30000 bits/slot capacity scale; B = 30000 -> threshold 2^1 - 1 = 1.
+    threshold = snr_decoding_threshold(30000.0, 1e-3, 30e6)
+    assert threshold == pytest.approx(1.0)
+    assert snr_decoding_threshold(0.0, 1e-3, 30e6) == pytest.approx(0.0)
+
+
+def test_snr_threshold_huge_payload_is_infinite():
+    assert math.isinf(snr_decoding_threshold(1e12, 1e-3, 30e6))
+    with pytest.raises(ValueError):
+        snr_decoding_threshold(-1.0, 1e-3, 30e6)
+
+
+def test_success_probability_closed_form():
+    mean_snr = 100.0
+    payload = 30000.0  # threshold 1.0
+    probability = decoding_success_probability(mean_snr, payload, 1e-3, 30e6)
+    assert probability == pytest.approx(np.exp(-1.0 / 100.0))
+    with pytest.raises(ValueError):
+        decoding_success_probability(0.0, payload, 1e-3, 30e6)
+
+
+def test_success_probability_monotone_in_payload():
+    mean_snr = PAPER_CHANNEL_PARAMS.mean_snr("uplink")
+    payloads = [1e3, 1e5, 5e5, 1e6, 5e6]
+    probabilities = [
+        decoding_success_probability(mean_snr, p, 1e-3, 30e6) for p in payloads
+    ]
+    assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_paper_table1_success_probabilities():
+    """The closed-form values reproduce the success-probability row of Table 1."""
+    mean_snr = PAPER_CHANNEL_PARAMS.mean_snr("uplink")
+    expectations = {1: 0.00, 4: 0.027, 10: 0.999, 40: 1.00}
+    for pooling, expected in expectations.items():
+        payload = PayloadModel(
+            pooling_height=pooling, pooling_width=pooling
+        ).uplink_payload_bits(64)
+        probability = decoding_success_probability(mean_snr, payload, 1e-3, 30e6)
+        assert probability == pytest.approx(expected, abs=0.005)
+
+
+def test_wireless_link_transmit_small_payload_first_slot():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    result = link.transmit(1000.0)
+    assert result.success
+    assert result.slots_used == 1
+    assert result.elapsed_s == pytest.approx(1e-3)
+    assert result.first_attempt_success
+
+
+def test_wireless_link_impossible_payload_fails_fast():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    result = link.transmit(1e9)
+    assert not result.success
+    assert math.isinf(link.expected_latency_s(1e9))
+    assert link.success_probability(1e9) == pytest.approx(0.0)
+
+
+def test_wireless_link_retransmission_statistics():
+    # Payload sized for ~50% per-slot success: expect ~2 slots on average.
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=1)
+    mean_snr = link.mean_snr
+    target_threshold = mean_snr * np.log(2.0)  # P(success) = 0.5
+    payload = 1e-3 * 30e6 * np.log2(1.0 + target_threshold)
+    assert link.success_probability(payload) == pytest.approx(0.5, abs=0.01)
+    slots = [link.transmit(payload).slots_used for _ in range(800)]
+    assert np.mean(slots) == pytest.approx(2.0, abs=0.25)
+    assert link.expected_slots(payload) == pytest.approx(2.0, abs=0.05)
+
+
+def test_wireless_link_capped_retransmissions():
+    link = WirelessLink(
+        params=PAPER_CHANNEL_PARAMS,
+        direction="uplink",
+        max_retransmissions=3,
+        seed=2,
+    )
+    # Success probability ~2.7% (paper's 4x4 pooling): often fails within 4 slots.
+    payload = PayloadModel(pooling_height=4, pooling_width=4).uplink_payload_bits(64)
+    results = [link.transmit(payload) for _ in range(200)]
+    failures = [r for r in results if not r.success]
+    assert failures, "expected some transmissions to exhaust the retry cap"
+    assert all(r.slots_used <= 5 for r in results)
+
+
+def test_wireless_link_invalid_direction():
+    with pytest.raises(ValueError):
+        WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="sidelink")
+
+
+def test_arq_session_exchange_updates_statistics():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    payload = PayloadModel(pooling_height=40, pooling_width=40)
+    for _ in range(5):
+        step = session.exchange(
+            payload.uplink_payload_bits(64), payload.downlink_payload_bits(64)
+        )
+        assert step.success
+        assert step.total_elapsed_s >= 2e-3  # at least one slot each way
+    stats = session.statistics
+    assert stats.steps == 5
+    assert stats.uplink_slots >= 5
+    assert stats.downlink_slots >= 5
+    assert stats.uplink_first_attempt_success_rate == pytest.approx(1.0)
+    assert stats.mean_slots_per_step >= 2.0
+    assert len(session.history) == 5
+
+
+def test_arq_session_reset():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    session.exchange(1000.0, 1000.0)
+    session.reset_statistics()
+    assert session.statistics.steps == 0
+    assert session.history == []
+
+
+def test_arq_session_reproducible_with_seed():
+    def run(seed):
+        session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=seed)
+        payload = PayloadModel(pooling_height=4, pooling_width=4).uplink_payload_bits(64)
+        return [session.exchange(payload, 1000.0).uplink.slots_used for _ in range(20)]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

@@ -1,0 +1,91 @@
+"""Property-based tests for the channel model invariants."""
+import math
+
+import pytest
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    PAPER_CHANNEL_PARAMS,
+    PayloadModel,
+    decoding_success_probability,
+    snr_decoding_threshold,
+)
+
+POOLINGS = st.sampled_from([1, 2, 4, 5, 8, 10, 20, 40])
+BATCH = st.integers(min_value=1, max_value=512)
+
+
+@given(POOLINGS, BATCH)
+@settings(max_examples=60, deadline=None)
+def test_payload_positive_and_proportional_to_batch(pooling, batch):
+    model = PayloadModel(pooling_height=pooling, pooling_width=pooling)
+    single = model.uplink_payload_bits(1)
+    batched = model.uplink_payload_bits(batch)
+    assert single > 0
+    assert batched == single * batch
+
+
+@given(POOLINGS, POOLINGS, BATCH)
+@settings(max_examples=60, deadline=None)
+def test_larger_pooling_never_increases_payload(pool_a, pool_b, batch):
+    small, large = sorted((pool_a, pool_b))
+    payload_small_pool = PayloadModel(
+        pooling_height=small, pooling_width=small
+    ).uplink_payload_bits(batch)
+    payload_large_pool = PayloadModel(
+        pooling_height=large, pooling_width=large
+    ).uplink_payload_bits(batch)
+    assert payload_large_pool <= payload_small_pool
+
+
+@given(st.floats(min_value=0.0, max_value=1e8))
+@settings(max_examples=60, deadline=None)
+def test_threshold_nonnegative_and_monotone(payload_bits):
+    threshold = snr_decoding_threshold(payload_bits, 1e-3, 30e6)
+    assert threshold >= 0.0
+    bigger = snr_decoding_threshold(payload_bits * 2.0 + 1.0, 1e-3, 30e6)
+    assert bigger >= threshold
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e9),
+    st.floats(min_value=1.0, max_value=1e7),
+)
+@settings(max_examples=60, deadline=None)
+def test_success_probability_is_a_probability(mean_snr, payload_bits):
+    probability = decoding_success_probability(mean_snr, payload_bits, 1e-3, 30e6)
+    assert 0.0 <= probability <= 1.0
+
+
+@given(st.floats(min_value=1e3, max_value=1e7))
+@settings(max_examples=60, deadline=None)
+def test_more_bandwidth_never_hurts(payload_bits):
+    mean_snr = PAPER_CHANNEL_PARAMS.mean_snr("uplink")
+    narrow = decoding_success_probability(mean_snr, payload_bits, 1e-3, 10e6)
+    wide = decoding_success_probability(mean_snr, payload_bits, 1e-3, 100e6)
+    assert wide >= narrow - 1e-12
+
+
+@given(POOLINGS, BATCH)
+@settings(max_examples=60, deadline=None)
+def test_uplink_downlink_payload_symmetry(pooling, batch):
+    model = PayloadModel(pooling_height=pooling, pooling_width=pooling)
+    assert model.uplink_payload_bits(batch) == model.downlink_payload_bits(batch)
+
+
+@given(st.floats(min_value=1e2, max_value=1e7))
+@settings(max_examples=40, deadline=None)
+def test_expected_latency_consistent_with_probability(payload_bits):
+    from repro.channel import WirelessLink
+
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    probability = link.success_probability(payload_bits)
+    latency = link.expected_latency_s(payload_bits)
+    if probability <= 0:
+        assert math.isinf(latency)
+    else:
+        expected = PAPER_CHANNEL_PARAMS.slot_duration_s / probability
+        assert latency == pytest.approx(expected, rel=1e-9)

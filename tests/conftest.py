@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Dataset generation and training are the slow parts of the library, so the
+fixtures below build one small synthetic dataset (and derived sequence splits)
+per test session and share it across test modules that only need *some*
+realistic data rather than a specific configuration.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_sequences, generate_small_dataset, temporal_split
+from repro.split import ExperimentConfig, ModelConfig, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small but realistic synthetic dataset shared across the session."""
+    return generate_small_dataset(
+        num_samples=260, image_size=12, seed=11, mean_interarrival_s=2.0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sequences(small_dataset):
+    return build_sequences(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_sequences):
+    return temporal_split(small_sequences)
+
+
+@pytest.fixture()
+def tiny_model_config() -> ModelConfig:
+    """A model configuration matching the session dataset (12x12 images)."""
+    return ModelConfig(
+        image_height=12,
+        image_width=12,
+        pooling_height=12,
+        pooling_width=12,
+        cnn_channels=(2,),
+        rnn_hidden_size=8,
+        head_hidden_size=4,
+    )
+
+
+@pytest.fixture()
+def tiny_training_config() -> TrainingConfig:
+    return TrainingConfig(batch_size=16, max_epochs=2, steps_per_epoch=2, seed=5)
+
+
+@pytest.fixture()
+def tiny_experiment_config(tiny_model_config, tiny_training_config) -> ExperimentConfig:
+    return ExperimentConfig(model=tiny_model_config, training=tiny_training_config)

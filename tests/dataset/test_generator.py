@@ -1,0 +1,115 @@
+"""Tests for the synthetic dataset generator."""
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    DatasetConfig,
+    DepthPowerDataset,
+    MmWaveDepthDatasetGenerator,
+    PAPER_NUM_SAMPLES,
+    PAPER_TRAIN_BOUNDARY,
+    generate_small_dataset,
+)
+
+
+def test_paper_constants():
+    assert PAPER_NUM_SAMPLES == 13228
+    assert PAPER_TRAIN_BOUNDARY == 9928
+
+
+def test_dataset_config_defaults_match_paper():
+    config = DatasetConfig()
+    assert config.num_samples == PAPER_NUM_SAMPLES
+    assert config.image_height == 40 and config.image_width == 40
+    assert config.frame_interval_s == pytest.approx(0.033)
+    assert config.link_distance_m == pytest.approx(4.0)
+    assert config.duration_s == pytest.approx(13228 * 0.033)
+
+
+def test_dataset_config_validation():
+    with pytest.raises(ValueError):
+        DatasetConfig(num_samples=0)
+    with pytest.raises(ValueError):
+        DatasetConfig(image_height=-1)
+    with pytest.raises(ValueError):
+        DatasetConfig(frame_interval_s=0.0)
+
+
+def test_small_dataset_shapes(small_dataset):
+    assert len(small_dataset) == 260
+    assert small_dataset.images.shape == (260, 12, 12)
+    assert small_dataset.powers_dbm.shape == (260,)
+    assert small_dataset.line_of_sight_blocked.shape == (260,)
+    assert small_dataset.image_shape == (12, 12)
+
+
+def test_small_dataset_value_ranges(small_dataset):
+    assert small_dataset.images.min() >= 0.0
+    assert small_dataset.images.max() <= 1.0
+    assert np.all(small_dataset.powers_dbm < 0.0)
+    assert np.all(small_dataset.powers_dbm > -80.0)
+
+
+def test_dataset_contains_blockage_events(small_dataset):
+    assert 0.01 < small_dataset.blockage_fraction < 0.6
+
+
+def test_blocked_frames_have_lower_power(small_dataset):
+    blocked = small_dataset.line_of_sight_blocked
+    assert small_dataset.powers_dbm[~blocked].mean() > small_dataset.powers_dbm[blocked].mean() + 8.0
+
+
+def test_blocked_frames_show_closer_depth(small_dataset):
+    blocked = small_dataset.line_of_sight_blocked
+    # A body in the LoS is close to the camera, so the minimum depth drops.
+    blocked_min = small_dataset.images[blocked].min(axis=(1, 2)).mean()
+    clear_min = small_dataset.images[~blocked].min(axis=(1, 2)).mean()
+    assert blocked_min < clear_min
+
+
+def test_generation_is_deterministic_per_seed():
+    a = generate_small_dataset(num_samples=80, image_size=8, seed=3)
+    b = generate_small_dataset(num_samples=80, image_size=8, seed=3)
+    c = generate_small_dataset(num_samples=80, image_size=8, seed=4)
+    assert np.allclose(a.images, b.images)
+    assert np.allclose(a.powers_dbm, b.powers_dbm)
+    assert not np.allclose(a.powers_dbm, c.powers_dbm)
+
+
+def test_times_and_metadata(small_dataset):
+    times = small_dataset.times_s
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(small_dataset.frame_interval_s)
+    assert small_dataset.metadata["num_samples"] == 260
+
+
+def test_slice_returns_aligned_subset(small_dataset):
+    window = small_dataset.slice(10, 20)
+    assert len(window) == 10
+    assert np.allclose(window.images[0], small_dataset.images[10])
+    assert np.allclose(window.powers_dbm, small_dataset.powers_dbm[10:20])
+
+
+def test_dataset_validation_mismatched_lengths():
+    with pytest.raises(ValueError):
+        DepthPowerDataset(
+            images=np.zeros((5, 4, 4)),
+            powers_dbm=np.zeros(4),
+            line_of_sight_blocked=np.zeros(5, dtype=bool),
+        )
+    with pytest.raises(ValueError):
+        DepthPowerDataset(
+            images=np.zeros((5, 4)),
+            powers_dbm=np.zeros(5),
+            line_of_sight_blocked=np.zeros(5, dtype=bool),
+        )
+
+
+def test_generator_builds_scene_with_traffic():
+    generator = MmWaveDepthDatasetGenerator(
+        DatasetConfig(num_samples=150, image_height=8, image_width=8, seed=0,
+                      mean_interarrival_s=1.5)
+    )
+    scene = generator.build_scene()
+    assert len(scene.pedestrians) >= 1
+    assert scene.camera.intrinsics.width == 8

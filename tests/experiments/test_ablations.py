@@ -1,0 +1,62 @@
+"""Tests for the ablation sweeps."""
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    bandwidth_sweep,
+    blockage_model_comparison,
+    pooling_sweep,
+    rnn_type_sweep,
+    sequence_length_sweep,
+)
+
+
+def test_pooling_sweep_covers_divisors_and_monotone():
+    rows = pooling_sweep(image_size=40, batch_size=64)
+    poolings = [row.pooling for row in rows]
+    assert poolings == [1, 2, 4, 5, 8, 10, 20, 40]
+    payloads = [row.uplink_payload_bits for row in rows]
+    assert payloads == sorted(payloads, reverse=True)
+    successes = [row.success_probability for row in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(successes, successes[1:]))
+    assert successes[-1] == pytest.approx(1.0, abs=1e-6)
+    assert math.isinf(rows[0].expected_uplink_latency_s) or rows[0].expected_uplink_latency_s > 1.0
+
+
+def test_pooling_sweep_one_pixel_latency_is_one_slot():
+    rows = pooling_sweep(image_size=40, batch_size=64)
+    one_pixel = rows[-1]
+    assert one_pixel.values_per_image == 1
+    assert one_pixel.expected_uplink_latency_s == pytest.approx(1e-3, rel=1e-3)
+
+
+def test_bandwidth_sweep_monotone():
+    rows = bandwidth_sweep(pooling=4, bandwidths_hz=[10e6, 30e6, 100e6, 400e6])
+    successes = [row.success_probability for row in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(successes, successes[1:]))
+    # The paper's 30 MHz uplink makes 4x4 pooling nearly undecodable ...
+    assert successes[1] < 0.1
+    # ... while a much wider uplink would fix it.
+    assert successes[-1] > 0.9
+
+
+def test_blockage_model_comparison_depths():
+    result = blockage_model_comparison(num_samples=260, image_size=10, seed=1)
+    assert result.knife_edge_depth_db > 8.0
+    assert result.piecewise_depth_db > 8.0
+
+
+def test_sequence_length_sweep_smoke():
+    scale = ExperimentScale.smoke()
+    rows = sequence_length_sweep(scale, sequence_lengths=[2, 4])
+    assert [row.sequence_length for row in rows] == [2, 4]
+    assert all(row.rmse_db > 0 for row in rows)
+
+
+def test_rnn_type_sweep_smoke():
+    scale = ExperimentScale.smoke()
+    rows = rnn_type_sweep(scale, rnn_types=["lstm", "simple"])
+    assert {row.rnn_type for row in rows} == {"lstm", "simple"}
+    assert all(row.rmse_db > 0 and row.elapsed_s > 0 for row in rows)

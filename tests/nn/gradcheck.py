@@ -1,0 +1,73 @@
+"""Numerical gradient checking helpers shared by the nn layer tests."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import MeanSquaredError
+
+
+def numerical_parameter_gradient(forward_loss, parameter, epsilon: float = 1e-6):
+    """Central-difference gradient of ``forward_loss()`` w.r.t. ``parameter``."""
+    gradient = np.zeros_like(parameter.value)
+    iterator = np.nditer(parameter.value, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = parameter.value[index]
+        parameter.value[index] = original + epsilon
+        loss_plus = forward_loss()
+        parameter.value[index] = original - epsilon
+        loss_minus = forward_loss()
+        parameter.value[index] = original
+        gradient[index] = (loss_plus - loss_minus) / (2.0 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+def numerical_input_gradient(forward_loss_of, inputs, epsilon: float = 1e-6):
+    """Central-difference gradient of ``forward_loss_of(inputs)`` w.r.t. inputs."""
+    inputs = np.array(inputs, dtype=np.float64)
+    gradient = np.zeros_like(inputs)
+    iterator = np.nditer(inputs, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = inputs[index]
+        inputs[index] = original + epsilon
+        loss_plus = forward_loss_of(inputs)
+        inputs[index] = original - epsilon
+        loss_minus = forward_loss_of(inputs)
+        inputs[index] = original
+        gradient[index] = (loss_plus - loss_minus) / (2.0 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+def check_layer_gradients(layer, inputs, target_shape, rng, atol: float = 1e-6):
+    """Assert analytic parameter and input gradients match numerical ones.
+
+    Returns the worst absolute error observed (useful for debugging).
+    """
+    loss = MeanSquaredError()
+    targets = rng.normal(size=target_shape)
+
+    def forward_loss():
+        return loss.forward(layer.forward(inputs), targets)
+
+    def forward_loss_of(perturbed):
+        return loss.forward(layer.forward(perturbed), targets)
+
+    layer.zero_grad()
+    loss.forward(layer.forward(inputs), targets)
+    analytic_input_gradient = layer.backward(loss.backward())
+
+    worst = 0.0
+    for _, parameter in layer.named_parameters():
+        numerical = numerical_parameter_gradient(forward_loss, parameter)
+        error = float(np.max(np.abs(numerical - parameter.grad)))
+        worst = max(worst, error)
+        assert error < atol, f"parameter gradient mismatch ({error})"
+
+    numerical_input = numerical_input_gradient(forward_loss_of, inputs)
+    error = float(np.max(np.abs(numerical_input - analytic_input_gradient)))
+    worst = max(worst, error)
+    assert error < atol, f"input gradient mismatch ({error})"
+    return worst

@@ -1,0 +1,122 @@
+"""Tests for ArrayDataset, DataLoader and train/validation splitting."""
+import numpy as np
+import pytest
+
+from repro.nn import ArrayDataset, DataLoader, train_validation_split
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(41)
+
+
+@pytest.fixture()
+def dataset(gen):
+    images = gen.normal(size=(50, 4, 4))
+    powers = gen.normal(size=(50,))
+    targets = gen.normal(size=(50,))
+    return ArrayDataset(images, powers, targets)
+
+
+def test_dataset_length_and_indexing(dataset):
+    assert len(dataset) == 50
+    images, powers, targets = dataset[3]
+    assert images.shape == (4, 4)
+    assert np.isscalar(powers) or powers.shape == ()
+    assert np.isscalar(targets) or targets.shape == ()
+
+
+def test_dataset_fancy_indexing(dataset):
+    images, powers, targets = dataset[[0, 2, 4]]
+    assert images.shape == (3, 4, 4)
+    assert powers.shape == (3,)
+
+
+def test_dataset_requires_aligned_lengths(gen):
+    with pytest.raises(ValueError):
+        ArrayDataset(gen.normal(size=(5, 2)), gen.normal(size=(4,)))
+
+
+def test_dataset_requires_at_least_one_array():
+    with pytest.raises(ValueError):
+        ArrayDataset()
+
+
+def test_dataset_subset(dataset):
+    subset = dataset.subset([1, 3, 5])
+    assert len(subset) == 3
+    original_images = dataset.arrays[0]
+    assert np.allclose(subset.arrays[0][0], original_images[1])
+
+
+def test_split_preserves_temporal_order(dataset):
+    train, validation = train_validation_split(dataset, validation_fraction=0.2)
+    assert len(train) == 40
+    assert len(validation) == 10
+    assert np.allclose(train.arrays[0][0], dataset.arrays[0][0])
+    assert np.allclose(validation.arrays[0][-1], dataset.arrays[0][-1])
+
+
+def test_split_shuffle_changes_membership(dataset):
+    train_a, _ = train_validation_split(dataset, 0.2, shuffle=True, seed=0)
+    train_b, _ = train_validation_split(dataset, 0.2, shuffle=False)
+    assert not np.allclose(train_a.arrays[0], train_b.arrays[0])
+
+
+def test_split_fraction_validation(dataset):
+    with pytest.raises(ValueError):
+        train_validation_split(dataset, validation_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_validation_split(dataset, validation_fraction=1.0)
+
+
+def test_dataloader_batch_count(dataset):
+    loader = DataLoader(dataset, batch_size=8, shuffle=False)
+    assert len(loader) == 7  # 6 full batches + 1 remainder of 2
+    loader_drop = DataLoader(dataset, batch_size=8, shuffle=False, drop_last=True)
+    assert len(loader_drop) == 6
+
+
+def test_dataloader_covers_every_sample_once(dataset):
+    loader = DataLoader(dataset, batch_size=7, shuffle=True, seed=0)
+    seen = 0
+    for batch in loader:
+        seen += len(batch[0])
+    assert seen == len(dataset)
+
+
+def test_dataloader_shuffle_determinism(dataset):
+    batches_a = [b[1] for b in DataLoader(dataset, 10, shuffle=True, seed=3)]
+    batches_b = [b[1] for b in DataLoader(dataset, 10, shuffle=True, seed=3)]
+    for a, b in zip(batches_a, batches_b):
+        assert np.allclose(a, b)
+
+
+def test_dataloader_no_shuffle_is_sequential(dataset):
+    loader = DataLoader(dataset, batch_size=10, shuffle=False)
+    first_batch = next(iter(loader))
+    assert np.allclose(first_batch[0], dataset.arrays[0][:10])
+
+
+def test_sample_batch_sizes(dataset):
+    loader = DataLoader(dataset, batch_size=16, seed=0)
+    batch = loader.sample_batch()
+    assert len(batch[0]) == 16
+    small = loader.sample_batch(batch_size=4)
+    assert len(small[0]) == 4
+    clipped = loader.sample_batch(batch_size=500)
+    assert len(clipped[0]) == len(dataset)
+
+
+def test_sample_batch_has_no_duplicates(dataset):
+    loader = DataLoader(dataset, batch_size=30, seed=1)
+    batch_targets = loader.sample_batch()[2]
+    assert len(np.unique(batch_targets)) == len(batch_targets)
+
+
+def test_dataloader_validation(dataset):
+    with pytest.raises(ValueError):
+        DataLoader(dataset, batch_size=0)
+    with pytest.raises(ValueError):
+        loader = DataLoader(dataset, batch_size=4)
+        loader.sample_batch(batch_size=-1)

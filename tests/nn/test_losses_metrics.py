@@ -1,0 +1,143 @@
+"""Tests for loss functions and evaluation metrics."""
+import numpy as np
+import pytest
+
+from repro.nn import HuberLoss, MeanAbsoluteError, MeanSquaredError, get_loss
+from repro.nn.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(31)
+
+
+def test_mse_value_and_gradient(gen):
+    loss = MeanSquaredError()
+    predictions = np.array([[1.0], [2.0]])
+    targets = np.array([[0.0], [4.0]])
+    value = loss.forward(predictions, targets)
+    assert value == pytest.approx((1.0 + 4.0) / 2.0)
+    grad = loss.backward()
+    assert np.allclose(grad, 2.0 * (predictions - targets) / 2.0)
+
+
+def test_mse_zero_for_perfect_prediction(gen):
+    loss = MeanSquaredError()
+    values = gen.normal(size=(5, 2))
+    assert loss.forward(values, values) == pytest.approx(0.0)
+
+
+def test_mae_value_and_gradient():
+    loss = MeanAbsoluteError()
+    value = loss.forward(np.array([1.0, -2.0]), np.array([0.0, 0.0]))
+    assert value == pytest.approx(1.5)
+    assert np.allclose(loss.backward(), [0.5, -0.5])
+
+
+def test_huber_quadratic_and_linear_regions():
+    loss = HuberLoss(delta=1.0)
+    small = loss.forward(np.array([0.5]), np.array([0.0]))
+    assert small == pytest.approx(0.125)
+    large = loss.forward(np.array([3.0]), np.array([0.0]))
+    assert large == pytest.approx(0.5 + 1.0 * (3.0 - 1.0))
+
+
+def test_huber_gradient_clipped():
+    loss = HuberLoss(delta=1.0)
+    loss.forward(np.array([5.0, 0.5]), np.array([0.0, 0.0]))
+    grad = loss.backward()
+    assert np.allclose(grad, [0.5, 0.25])
+
+
+def test_huber_invalid_delta():
+    with pytest.raises(ValueError):
+        HuberLoss(delta=0.0)
+
+
+def test_loss_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        MeanSquaredError().forward(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+def test_loss_empty_arrays_raise():
+    with pytest.raises(ValueError):
+        MeanSquaredError().forward(np.zeros((0,)), np.zeros((0,)))
+
+
+def test_loss_backward_before_forward_raises():
+    with pytest.raises(RuntimeError):
+        MeanSquaredError().backward()
+
+
+def test_loss_registry():
+    assert isinstance(get_loss("mse"), MeanSquaredError)
+    assert isinstance(get_loss("huber", delta=2.0), HuberLoss)
+    with pytest.raises(KeyError):
+        get_loss("cross-entropy-ish")
+
+
+def test_mse_gradient_numerical(gen):
+    loss = MeanSquaredError()
+    predictions = gen.normal(size=(4, 2))
+    targets = gen.normal(size=(4, 2))
+    loss.forward(predictions, targets)
+    analytic = loss.backward()
+    epsilon = 1e-6
+    index = (1, 1)
+    perturbed = predictions.copy()
+    perturbed[index] += epsilon
+    plus = loss.forward(perturbed, targets)
+    perturbed[index] -= 2 * epsilon
+    minus = loss.forward(perturbed, targets)
+    assert analytic[index] == pytest.approx((plus - minus) / (2 * epsilon), rel=1e-4)
+
+
+# -- metrics -------------------------------------------------------------------------
+
+
+def test_rmse_is_sqrt_of_mse(gen):
+    predictions = gen.normal(size=20)
+    targets = gen.normal(size=20)
+    assert root_mean_squared_error(predictions, targets) == pytest.approx(
+        np.sqrt(mean_squared_error(predictions, targets))
+    )
+
+
+def test_rmse_known_value():
+    assert root_mean_squared_error([1.0, 3.0], [0.0, 0.0]) == pytest.approx(
+        np.sqrt(5.0)
+    )
+
+
+def test_mae_metric():
+    assert mean_absolute_error([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+
+def test_r2_perfect_and_mean_predictor(gen):
+    targets = gen.normal(size=50)
+    assert r2_score(targets, targets) == pytest.approx(1.0)
+    assert r2_score(np.full(50, targets.mean()), targets) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_r2_constant_targets_is_zero():
+    assert r2_score([1.0, 2.0], [3.0, 3.0]) == 0.0
+
+
+def test_max_absolute_error():
+    assert max_absolute_error([1.0, -4.0], [0.0, 0.0]) == pytest.approx(4.0)
+
+
+def test_metric_shape_mismatch():
+    with pytest.raises(ValueError):
+        root_mean_squared_error([1.0], [1.0, 2.0])
+
+
+def test_metric_empty_raises():
+    with pytest.raises(ValueError):
+        mean_absolute_error([], [])

@@ -1,0 +1,89 @@
+"""Tests for BatchNorm1D and LayerNorm."""
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1D, LayerNorm
+
+from tests.nn.gradcheck import check_layer_gradients
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(17)
+
+
+def test_batchnorm_normalizes_training_batch(gen):
+    layer = BatchNorm1D(6)
+    inputs = gen.normal(loc=5.0, scale=3.0, size=(64, 6))
+    output = layer.forward(inputs)
+    assert np.allclose(output.mean(axis=0), 0.0, atol=1e-7)
+    assert np.allclose(output.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_running_statistics_converge(gen):
+    layer = BatchNorm1D(3, momentum=0.5)
+    for _ in range(30):
+        layer.forward(gen.normal(loc=2.0, scale=1.0, size=(128, 3)))
+    assert np.allclose(layer.running_mean, 2.0, atol=0.2)
+    assert np.allclose(layer.running_var, 1.0, atol=0.3)
+
+
+def test_batchnorm_eval_uses_running_statistics(gen):
+    layer = BatchNorm1D(3, momentum=0.0)
+    layer.forward(gen.normal(loc=4.0, size=(256, 3)))
+    layer.eval()
+    output = layer.forward(np.full((2, 3), 4.0))
+    assert np.allclose(output, 0.0, atol=0.2)
+
+
+def test_batchnorm_gamma_beta_affect_output(gen):
+    layer = BatchNorm1D(2)
+    layer.gamma.value[:] = 2.0
+    layer.beta.value[:] = 1.0
+    output = layer.forward(gen.normal(size=(32, 2)))
+    assert output.mean() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_batchnorm_gradients_match_numerical(gen):
+    layer = BatchNorm1D(3)
+    inputs = gen.normal(size=(6, 3))
+    check_layer_gradients(layer, inputs, (6, 3), gen, atol=1e-5)
+
+
+def test_batchnorm_input_validation(gen):
+    layer = BatchNorm1D(3)
+    with pytest.raises(ValueError):
+        layer.forward(gen.normal(size=(4, 5)))
+    with pytest.raises(ValueError):
+        BatchNorm1D(0)
+    with pytest.raises(ValueError):
+        BatchNorm1D(3, momentum=1.5)
+
+
+def test_layernorm_normalizes_feature_axis(gen):
+    layer = LayerNorm(8)
+    inputs = gen.normal(loc=3.0, scale=2.0, size=(5, 8))
+    output = layer.forward(inputs)
+    assert np.allclose(output.mean(axis=-1), 0.0, atol=1e-7)
+
+
+def test_layernorm_works_on_3d_inputs(gen):
+    layer = LayerNorm(4)
+    inputs = gen.normal(size=(2, 3, 4))
+    output = layer.forward(inputs)
+    assert output.shape == inputs.shape
+    assert np.allclose(output.mean(axis=-1), 0.0, atol=1e-7)
+
+
+def test_layernorm_gradients_match_numerical(gen):
+    layer = LayerNorm(4)
+    inputs = gen.normal(size=(3, 4))
+    check_layer_gradients(layer, inputs, (3, 4), gen, atol=1e-5)
+
+
+def test_layernorm_validation(gen):
+    with pytest.raises(ValueError):
+        LayerNorm(-1)
+    layer = LayerNorm(4)
+    with pytest.raises(ValueError):
+        layer.forward(gen.normal(size=(3, 5)))

@@ -1,0 +1,75 @@
+"""Tests for model parameter serialization."""
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    load_parameters,
+    parameters_allclose,
+    save_parameters,
+)
+
+
+def build_model(seed=0):
+    return Sequential([Dense(4, 6, seed=seed), ReLU(), Dense(6, 2, seed=seed + 1)])
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    model = build_model(seed=0)
+    path = tmp_path / "weights.npz"
+    save_parameters(model, path)
+    clone = build_model(seed=9)
+    assert not parameters_allclose(model, clone)
+    load_parameters(clone, path)
+    assert parameters_allclose(model, clone)
+
+
+def test_loaded_model_produces_identical_outputs(tmp_path):
+    rng = np.random.default_rng(0)
+    model = build_model(seed=1)
+    path = tmp_path / "weights.npz"
+    save_parameters(model, path)
+    clone = build_model(seed=77)
+    load_parameters(clone, path)
+    inputs = rng.normal(size=(5, 4))
+    assert np.allclose(model.forward(inputs), clone.forward(inputs))
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_parameters(build_model(), tmp_path / "missing.npz")
+
+
+def test_load_accepts_path_without_suffix(tmp_path):
+    model = build_model(seed=2)
+    path = tmp_path / "weights"
+    save_parameters(model, path)  # numpy appends .npz
+    clone = build_model(seed=3)
+    load_parameters(clone, path)
+    assert parameters_allclose(model, clone)
+
+
+def test_save_parameterless_layer_raises(tmp_path):
+    with pytest.raises(ValueError):
+        save_parameters(ReLU(), tmp_path / "empty.npz")
+
+
+def test_parameters_allclose_detects_difference():
+    model_a = build_model(seed=0)
+    model_b = build_model(seed=0)
+    assert parameters_allclose(model_a, model_b)
+    for parameter in model_b.parameters():
+        parameter.value += 1.0
+        break
+    assert not parameters_allclose(model_a, model_b)
+
+
+def test_load_shape_mismatch_raises(tmp_path):
+    model = build_model(seed=0)
+    path = tmp_path / "weights.npz"
+    save_parameters(model, path)
+    different = Sequential([Dense(4, 3, seed=0), ReLU(), Dense(3, 2, seed=1)])
+    with pytest.raises((ValueError, KeyError)):
+        load_parameters(different, path)

@@ -1,0 +1,220 @@
+"""Tests for the split training protocol, trainer and normalizer."""
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.channel import LinkParams, WirelessChannelParams
+from repro.split import (
+    ExperimentConfig,
+    ModelConfig,
+    PowerNormalizer,
+    SplitTrainer,
+    SplitTrainingProtocol,
+    TrainingConfig,
+)
+
+
+@pytest.fixture()
+def model_config():
+    return ModelConfig(
+        image_height=8,
+        image_width=8,
+        pooling_height=8,
+        pooling_width=8,
+        cnn_channels=(2,),
+        rnn_hidden_size=6,
+        head_hidden_size=0,
+    )
+
+
+@pytest.fixture()
+def training_config():
+    return TrainingConfig(batch_size=8, max_epochs=2, steps_per_epoch=2, seed=0)
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(0)
+
+
+def make_batch(gen, batch=8, length=4, size=8):
+    images = gen.random((batch, length, size, size))
+    powers = gen.normal(size=(batch, length))
+    targets = gen.normal(size=batch)
+    return images, powers, targets
+
+
+# -- normalizer --------------------------------------------------------------------
+
+
+def test_normalizer_roundtrip(gen):
+    values = gen.normal(loc=-40.0, scale=8.0, size=200)
+    normalizer = PowerNormalizer.fit(values)
+    normalized = normalizer.normalize(values)
+    assert normalized.mean() == pytest.approx(0.0, abs=1e-9)
+    assert normalized.std() == pytest.approx(1.0, abs=1e-9)
+    assert np.allclose(normalizer.denormalize(normalized), values)
+
+
+def test_normalizer_constant_input_uses_unit_std():
+    normalizer = PowerNormalizer.fit(np.full(10, -30.0))
+    assert normalizer.std_db == 1.0
+    assert np.allclose(normalizer.normalize([-30.0]), 0.0)
+
+
+def test_normalizer_validation():
+    with pytest.raises(ValueError):
+        PowerNormalizer(mean_dbm=0.0, std_db=0.0)
+    with pytest.raises(ValueError):
+        PowerNormalizer.fit()
+    with pytest.raises(ValueError):
+        PowerNormalizer.fit(np.array([]))
+
+
+# -- protocol ----------------------------------------------------------------------
+
+
+def test_protocol_training_step_multimodal(model_config, training_config, gen):
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    images, powers, targets = make_batch(gen)
+    result = protocol.training_step(images, powers, targets)
+    assert result.updated
+    assert np.isfinite(result.loss)
+    assert result.communication is not None
+    assert result.communication.success
+    # Elapsed time includes both compute terms plus at least two slots.
+    minimum = (
+        training_config.ue_compute_time_s
+        + training_config.bs_compute_time_s
+        + 2 * 1e-3
+    )
+    assert result.elapsed_s >= minimum - 1e-12
+
+
+def test_protocol_rf_only_has_no_communication(model_config, training_config, gen):
+    config = ExperimentConfig(
+        model=replace(model_config, use_image=False), training=training_config
+    )
+    protocol = SplitTrainingProtocol(config)
+    assert protocol.ue is None and protocol.arq is None
+    _, powers, targets = make_batch(gen)
+    result = protocol.training_step(None, powers, targets)
+    assert result.updated
+    assert result.communication is None
+    assert result.elapsed_s == pytest.approx(training_config.bs_compute_time_s)
+
+
+def test_protocol_lost_step_when_payload_undecodable(model_config, training_config, gen):
+    # Shrink the uplink bandwidth so even the one-pixel payload cannot be decoded.
+    starved_channel = WirelessChannelParams(
+        uplink=LinkParams(transmit_power_dbm=-40.0, bandwidth_hz=1e3),
+        downlink=LinkParams(transmit_power_dbm=40.0, bandwidth_hz=100e6),
+    )
+    config = ExperimentConfig(
+        model=model_config, training=training_config, channel=starved_channel
+    )
+    protocol = SplitTrainingProtocol(config)
+    before = [p.value.copy() for p in protocol.bs.rnn.parameters()]
+    images, powers, targets = make_batch(gen)
+    result = protocol.training_step(images, powers, targets)
+    assert not result.updated
+    assert np.isnan(result.loss)
+    after = [p.value for p in protocol.bs.rnn.parameters()]
+    assert all(np.allclose(b, a) for b, a in zip(before, after))
+
+
+def test_protocol_training_reduces_loss(model_config, gen):
+    training = TrainingConfig(batch_size=16, max_epochs=1, steps_per_epoch=1, seed=1)
+    protocol = SplitTrainingProtocol(ExperimentConfig(model=model_config, training=training))
+    images, powers, targets = make_batch(gen, batch=16)
+    first = protocol.training_step(images, powers, targets).loss
+    losses = [protocol.training_step(images, powers, targets).loss for _ in range(40)]
+    assert losses[-1] < first
+
+
+def test_protocol_predict_shapes_and_modes(model_config, training_config, gen):
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    images, powers, _ = make_batch(gen, batch=10)
+    predictions = protocol.predict(images, powers, batch_size=4)
+    assert predictions.shape == (10,)
+    with pytest.raises(ValueError):
+        protocol.predict(None, powers)
+    with pytest.raises(ValueError):
+        protocol.predict(images, None)
+
+
+def test_protocol_num_parameters_counts_both_halves(model_config, training_config):
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    assert (
+        protocol.num_parameters()
+        == protocol.ue.num_parameters() + protocol.bs.num_parameters()
+    )
+
+
+# -- trainer ------------------------------------------------------------------------
+
+
+def test_trainer_fit_records_learning_curve(tiny_experiment_config, small_split):
+    trainer = SplitTrainer(tiny_experiment_config)
+    history = trainer.fit(small_split.train, small_split.validation)
+    assert len(history.records) >= 1
+    assert history.records[0].epoch == 1
+    assert history.total_elapsed_s > 0.0
+    assert np.all(np.diff(history.elapsed_times_s) > 0)
+    assert np.isfinite(history.final_rmse_db)
+    assert history.best_rmse_db <= history.records[0].validation_rmse_db + 1e-9
+    assert history.communication is not None
+    assert history.communication.steps == sum(r.steps - r.lost_steps for r in history.records) + sum(r.lost_steps for r in history.records)
+
+
+def test_trainer_predict_dbm_scale(tiny_experiment_config, small_split):
+    trainer = SplitTrainer(tiny_experiment_config)
+    trainer.fit(small_split.train, small_split.validation)
+    predictions = trainer.predict_dbm(small_split.validation)
+    assert predictions.shape == (len(small_split.validation),)
+    # Predictions should land in a plausible dBm range, not normalized units.
+    assert np.all(predictions < 0.0)
+    assert np.all(predictions > -90.0)
+
+
+def test_trainer_early_stop_on_loose_target(tiny_model_config, small_split):
+    training = TrainingConfig(
+        batch_size=16, max_epochs=50, steps_per_epoch=1, target_rmse_db=50.0, seed=0
+    )
+    trainer = SplitTrainer(ExperimentConfig(model=tiny_model_config, training=training))
+    history = trainer.fit(small_split.train, small_split.validation)
+    assert history.reached_target
+    assert len(history.records) == 1
+
+
+def test_trainer_respects_max_epochs_override(tiny_experiment_config, small_split):
+    trainer = SplitTrainer(tiny_experiment_config)
+    history = trainer.fit(small_split.train, small_split.validation, max_epochs=1)
+    assert len(history.records) == 1
+
+
+def test_trainer_evaluate_before_fit_raises(tiny_experiment_config, small_split):
+    trainer = SplitTrainer(tiny_experiment_config)
+    with pytest.raises(RuntimeError):
+        trainer.predict_dbm(small_split.validation)
+
+
+def test_history_time_to_reach():
+    from repro.split.trainer import EpochRecord, TrainingHistory
+
+    history = TrainingHistory(scheme="test")
+    history.records = [
+        EpochRecord(1, 1.0, 0.5, 6.0, 2, 0),
+        EpochRecord(2, 2.0, 0.4, 4.0, 2, 0),
+        EpochRecord(3, 3.5, 0.3, 3.0, 2, 0),
+    ]
+    assert history.time_to_reach_db(4.5) == pytest.approx(2.0)
+    assert history.time_to_reach_db(2.0) == float("inf")
+    assert np.allclose(history.validation_rmse_curve_db, [6.0, 4.0, 3.0])

@@ -1,0 +1,69 @@
+"""Tests for unit conversions and constants."""
+import numpy as np
+import pytest
+
+from repro.utils import units
+
+
+def test_db_linear_roundtrip():
+    values = np.array([-30.0, 0.0, 10.0, 25.5])
+    assert np.allclose(units.linear_to_db(units.db_to_linear(values)), values)
+
+
+def test_db_to_linear_known_values():
+    assert units.db_to_linear(0.0) == pytest.approx(1.0)
+    assert units.db_to_linear(10.0) == pytest.approx(10.0)
+    assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+
+def test_linear_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.linear_to_db(0.0)
+    with pytest.raises(ValueError):
+        units.linear_to_db([-1.0, 2.0])
+
+
+def test_dbm_watts_roundtrip():
+    values = np.array([-40.0, 0.0, 30.0])
+    assert np.allclose(units.watts_to_dbm(units.dbm_to_watts(values)), values)
+
+
+def test_dbm_to_watts_known_values():
+    assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+    assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+
+def test_dbm_milliwatts_roundtrip():
+    values = np.array([-174.0, 7.5, 40.0])
+    assert np.allclose(units.milliwatts_to_dbm(units.dbm_to_milliwatts(values)), values)
+
+
+def test_watts_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.watts_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        units.milliwatts_to_dbm(-5.0)
+
+
+def test_thermal_noise_constant_close_to_minus_174():
+    assert units.THERMAL_NOISE_DBM_PER_HZ == pytest.approx(-174.0, abs=0.2)
+
+
+def test_noise_power_scales_with_bandwidth():
+    narrow = units.noise_power_dbm(1e6)
+    wide = units.noise_power_dbm(100e6)
+    assert wide - narrow == pytest.approx(20.0, abs=1e-9)
+    with_figure = units.noise_power_dbm(1e6, noise_figure_db=5.0)
+    assert with_figure - narrow == pytest.approx(5.0)
+
+
+def test_noise_power_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        units.noise_power_dbm(0.0)
+
+
+def test_wavelength_at_60ghz():
+    wavelength = units.frequency_to_wavelength(60.48e9)
+    assert wavelength == pytest.approx(4.957e-3, rel=1e-3)
+    with pytest.raises(ValueError):
+        units.frequency_to_wavelength(0.0)

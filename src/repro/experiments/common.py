@@ -31,6 +31,9 @@ class ExperimentScale:
         batch_size: minibatch size (paper payload accounting implies 64).
         validation_windows: cap on the number of validation windows used for
             the per-epoch RMSE (None = all); keeps numpy inference cheap.
+        eval_batch_size: inference minibatch size; bounds the cached im2col /
+            recurrent state buffers during evaluation without affecting
+            predictions.
         cnn_channels: hidden channels of the UE CNN.
         rnn_hidden_size: hidden units of the BS RNN.
         mean_interarrival_s: mean spacing of pedestrian crossings; smaller
@@ -48,6 +51,7 @@ class ExperimentScale:
     steps_per_epoch: int = 2
     batch_size: int = 64
     validation_windows: Optional[int] = 512
+    eval_batch_size: int = 256
     cnn_channels: tuple = (8,)
     rnn_hidden_size: int = 32
     mean_interarrival_s: float = 4.0
@@ -69,6 +73,7 @@ class ExperimentScale:
             steps_per_epoch=4,
             batch_size=32,
             validation_windows=160,
+            eval_batch_size=64,
             cnn_channels=(4,),
             rnn_hidden_size=16,
             mean_interarrival_s=1.2,
@@ -85,6 +90,7 @@ class ExperimentScale:
             steps_per_epoch=2,
             batch_size=16,
             validation_windows=48,
+            eval_batch_size=32,
             cnn_channels=(2,),
             rnn_hidden_size=8,
             mean_interarrival_s=1.5,
@@ -117,6 +123,7 @@ class ExperimentScale:
             max_epochs=self.max_epochs,
             steps_per_epoch=self.steps_per_epoch,
             learning_rate=self.learning_rate,
+            eval_batch_size=self.eval_batch_size,
             seed=self.seed,
         )
 

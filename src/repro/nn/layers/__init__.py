@@ -9,12 +9,37 @@ from repro.nn.layers.activations import (
     get_activation,
 )
 from repro.nn.layers.base import Layer, Parameter
-from repro.nn.layers.conv import Conv2D, col2im, conv_output_size, im2col
+from repro.nn.layers.conv import (
+    Conv2D,
+    col2im,
+    conv2d_backward_reference,
+    conv2d_forward_reference,
+    conv_output_size,
+    im2col,
+)
 from repro.nn.layers.dense import Dense
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.normalization import BatchNorm1D, LayerNorm
-from repro.nn.layers.pooling import AveragePool2D, GlobalAveragePool2D, MaxPool2D
-from repro.nn.layers.recurrent import GRU, LSTM, SimpleRNN
+from repro.nn.layers.pooling import (
+    AveragePool2D,
+    GlobalAveragePool2D,
+    MaxPool2D,
+    avgpool2d_backward_reference,
+    avgpool2d_forward_reference,
+    maxpool2d_backward_reference,
+    maxpool2d_forward_reference,
+)
+from repro.nn.layers.recurrent import (
+    GRU,
+    LSTM,
+    SimpleRNN,
+    gru_forward_reference,
+    gru_gradients_reference,
+    lstm_forward_reference,
+    lstm_gradients_reference,
+    simple_rnn_forward_reference,
+    simple_rnn_gradients_reference,
+)
 from repro.nn.layers.reshape import Flatten, Reshape
 from repro.nn.layers.sequential import Sequential
 
@@ -41,8 +66,20 @@ __all__ = [
     "SimpleRNN",
     "Softplus",
     "Tanh",
+    "avgpool2d_backward_reference",
+    "avgpool2d_forward_reference",
     "col2im",
+    "conv2d_backward_reference",
+    "conv2d_forward_reference",
     "conv_output_size",
     "get_activation",
+    "gru_forward_reference",
+    "gru_gradients_reference",
     "im2col",
+    "lstm_forward_reference",
+    "lstm_gradients_reference",
+    "maxpool2d_backward_reference",
+    "maxpool2d_forward_reference",
+    "simple_rnn_forward_reference",
+    "simple_rnn_gradients_reference",
 ]

@@ -1,14 +1,28 @@
-"""2-D convolution implemented with im2col.
+"""2-D convolution implemented with stride-tricks im2col.
 
 The UE-side model of the paper is a small CNN operating on depth images, so a
 single, well-tested Conv2D layer (NCHW layout, configurable stride and
 padding) is the workhorse of the image branch.
+
+The hot path lowers convolution to one GEMM per minibatch: patches are
+gathered with :func:`numpy.lib.stride_tricks.sliding_window_view` into a
+column matrix (``im2col``) that is contracted against the flattened kernel.
+The column buffer is cached on the layer and reused across steps with the
+same geometry, so steady-state training does no per-step patch allocation.
+
+Naive per-output-pixel loop implementations are retained as
+``conv2d_forward_reference`` / ``conv2d_backward_reference``.  They are the
+correctness oracle for the vectorized path (see
+``tests/nn/test_kernel_equivalence.py``) and the baseline of the kernel
+micro-benchmarks (``benchmarks/test_bench_nn_kernels.py``); they must never
+be called from the training path.
 """
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer, check_forward_called
@@ -40,14 +54,18 @@ def im2col(
     kernel_size: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Rearrange image patches into columns.
+    """Rearrange image patches into columns (stride-tricks based).
 
     Args:
         images: array of shape ``(batch, channels, height, width)``.
         kernel_size: ``(kh, kw)``.
         stride: ``(sh, sw)``.
         padding: ``(ph, pw)`` zero padding on each side.
+        out: optional preallocated output buffer of the correct shape and
+            dtype; reused when compatible, otherwise a fresh array is
+            allocated.
 
     Returns:
         Array of shape ``(batch, channels * kh * kw, out_h * out_w)``.
@@ -59,16 +77,30 @@ def im2col(
     out_h = conv_output_size(height, kh, sh, ph)
     out_w = conv_output_size(width, kw, sw, pw)
 
-    padded = np.pad(
-        images, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant"
+    if ph or pw:
+        padded = np.pad(
+            images, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant"
+        )
+    else:
+        padded = images
+    # (batch, channels, out_h, out_w, kh, kw) strided view — no copy yet.
+    windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
+        :, :, ::sh, ::sw, :, :
+    ]
+
+    shape = (batch, channels * kh * kw, out_h * out_w)
+    if (
+        out is None
+        or out.shape != shape
+        or out.dtype != images.dtype
+        or not out.flags["C_CONTIGUOUS"]  # reshape below must be a view
+    ):
+        out = np.empty(shape, dtype=images.dtype)
+    # Single strided copy into the (batch, C, kh, kw, out_h, out_w) layout.
+    out.reshape(batch, channels, kh, kw, out_h, out_w)[...] = windows.transpose(
+        0, 1, 4, 5, 2, 3
     )
-    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=images.dtype)
-    for i in range(kh):
-        i_end = i + sh * out_h
-        for j in range(kw):
-            j_end = j + sw * out_w
-            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
-    return cols.reshape(batch, channels * kh * kw, out_h * out_w)
+    return out
 
 
 def col2im(
@@ -78,7 +110,12 @@ def col2im(
     stride: Tuple[int, int],
     padding: Tuple[int, int],
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`, accumulating overlapping patches."""
+    """Inverse of :func:`im2col`, accumulating overlapping patches.
+
+    The scatter-add runs over the ``kh * kw`` kernel offsets (not over output
+    pixels): overlapping windows alias the same padded pixels, so the
+    accumulation cannot be expressed as one strided copy.
+    """
     batch, channels, height, width = image_shape
     kh, kw = kernel_size
     sh, sw = stride
@@ -100,8 +137,94 @@ def col2im(
     return padded[:, :, ph : ph + height, pw : pw + width]
 
 
+def conv2d_forward_reference(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Naive per-output-pixel convolution (correctness oracle, never hot path).
+
+    Args:
+        inputs: ``(batch, in_channels, H, W)``.
+        weight: ``(out_channels, in_channels, kh, kw)``.
+        bias: optional ``(out_channels,)``.
+        stride: ``(sh, sw)``.
+        padding: ``(ph, pw)``.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, _, height, width = inputs.shape
+    out_channels, _, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    padded = np.pad(inputs, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    output = np.zeros((batch, out_channels, out_h, out_w), dtype=np.float64)
+    for b in range(batch):
+        for oc in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[
+                        b, :, i * sh : i * sh + kh, j * sw : j * sw + kw
+                    ]
+                    output[b, oc, i, j] = np.sum(patch * weight[oc])
+            if bias is not None:
+                output[b, oc] += bias[oc]
+    return output
+
+
+def conv2d_backward_reference(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    grad_output: np.ndarray,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Naive convolution backward pass (correctness oracle, never hot path).
+
+    Returns:
+        ``(grad_inputs, grad_weight, grad_bias)``.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    grad_output = np.asarray(grad_output, dtype=np.float64)
+    batch, _, height, width = inputs.shape
+    out_channels, _, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+
+    padded = np.pad(inputs, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    grad_padded = np.zeros_like(padded)
+    grad_weight = np.zeros_like(weight, dtype=np.float64)
+    grad_bias = grad_output.sum(axis=(0, 2, 3))
+    for b in range(batch):
+        for oc in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    g = grad_output[b, oc, i, j]
+                    rows = slice(i * sh, i * sh + kh)
+                    cols = slice(j * sw, j * sw + kw)
+                    grad_weight[oc] += g * padded[b, :, rows, cols]
+                    grad_padded[b, :, rows, cols] += g * weight[oc]
+    if ph or pw:
+        grad_inputs = grad_padded[:, :, ph : ph + height, pw : pw + width]
+    else:
+        grad_inputs = grad_padded
+    return grad_inputs, grad_weight, grad_bias
+
+
 class Conv2D(Layer):
-    """2-D convolution over inputs of shape ``(batch, channels, H, W)``."""
+    """2-D convolution over inputs of shape ``(batch, channels, H, W)``.
+
+    Args:
+        cache_patches: reuse the im2col column buffer across forward passes
+            with the same input geometry (the steady state of minibatch
+            training).  Disable for layers fed wildly varying shapes to avoid
+            holding the largest buffer alive.
+    """
 
     def __init__(
         self,
@@ -112,6 +235,7 @@ class Conv2D(Layer):
         padding: int | Tuple[int, int] | str = 0,
         use_bias: bool = True,
         weight_init: str = "he_uniform",
+        cache_patches: bool = True,
         name: str | None = None,
         seed: SeedLike = None,
     ):
@@ -133,6 +257,7 @@ class Conv2D(Layer):
         else:
             self.padding = _pair(padding)
         self.use_bias = bool(use_bias)
+        self.cache_patches = bool(cache_patches)
 
         kh, kw = self.kernel_size
         w_init = get_initializer(weight_init)
@@ -174,7 +299,8 @@ class Conv2D(Layer):
         batch, _, height, width = inputs.shape
         _, out_h, out_w = self.output_shape(height, width)
 
-        cols = im2col(inputs, self.kernel_size, self.stride, self.padding)
+        buffer = self._cols if self.cache_patches else None
+        cols = im2col(inputs, self.kernel_size, self.stride, self.padding, out=buffer)
         self._cols = cols
         self._input_shape = inputs.shape
 
@@ -189,7 +315,10 @@ class Conv2D(Layer):
         cols = check_forward_called(self._cols, self)
         grad_output = np.asarray(grad_output, dtype=np.float64)
         batch = grad_output.shape[0]
-        grad_flat = grad_output.reshape(batch, self.out_channels, -1)
+        # Explicit spatial size: reshape(-1) cannot infer it for empty batches.
+        grad_flat = grad_output.reshape(
+            batch, self.out_channels, grad_output.shape[2] * grad_output.shape[3]
+        )
 
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
         grad_kernel = np.einsum("bop,bfp->of", grad_flat, cols, optimize=True)

@@ -3,6 +3,18 @@
 Average pooling is the compression knob of the paper: the UE pools the CNN
 output with a ``wH x wW`` window before transmitting it to the BS, trading
 feature-map resolution for uplink payload size and privacy.
+
+Both pooling layers are pure reshape-trick kernels: the ``(batch, channels,
+H, W)`` input is viewed as ``(batch, channels, out_h, ph, out_w, pw)`` windows
+and reduced along the window axes in one pass.  Max pooling caches the flat
+argmax index of each window during ``forward`` and routes the whole gradient
+to that element in ``backward`` (first maximum wins on ties, matching the
+common framework convention).
+
+Naive per-window loop implementations are retained as ``*_reference``
+functions — the correctness oracle for the vectorized kernels and the
+baseline of the kernel micro-benchmarks; never call them from the training
+path.
 """
 from __future__ import annotations
 
@@ -12,6 +24,104 @@ import numpy as np
 
 from repro.nn.layers.base import Layer, check_forward_called
 from repro.nn.layers.conv import _pair
+
+
+def _check_divisible(
+    name: str, height: int, width: int, pool: Tuple[int, int]
+) -> Tuple[int, int]:
+    ph, pw = pool
+    if height % ph != 0 or width % pw != 0:
+        raise ValueError(
+            f"{name}: input {height}x{width} not divisible by pool {ph}x{pw}"
+        )
+    return height // ph, width // pw
+
+
+def avgpool2d_forward_reference(
+    inputs: np.ndarray, pool_size: Tuple[int, int]
+) -> np.ndarray:
+    """Naive per-window average pooling (correctness oracle, never hot path)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, channels, height, width = inputs.shape
+    ph, pw = pool_size
+    out_h, out_w = _check_divisible("avgpool2d_forward_reference", height, width, pool_size)
+    output = np.zeros((batch, channels, out_h, out_w), dtype=np.float64)
+    for b in range(batch):
+        for c in range(channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = inputs[
+                        b, c, i * ph : (i + 1) * ph, j * pw : (j + 1) * pw
+                    ]
+                    output[b, c, i, j] = window.mean()
+    return output
+
+
+def avgpool2d_backward_reference(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    pool_size: Tuple[int, int],
+) -> np.ndarray:
+    """Naive average-pooling backward pass (correctness oracle)."""
+    grad_output = np.asarray(grad_output, dtype=np.float64)
+    ph, pw = pool_size
+    grad = np.zeros(input_shape, dtype=np.float64)
+    batch, channels, _, _ = input_shape
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+    scale = 1.0 / (ph * pw)
+    for b in range(batch):
+        for c in range(channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    grad[
+                        b, c, i * ph : (i + 1) * ph, j * pw : (j + 1) * pw
+                    ] += grad_output[b, c, i, j] * scale
+    return grad
+
+
+def maxpool2d_forward_reference(
+    inputs: np.ndarray, pool_size: Tuple[int, int]
+) -> np.ndarray:
+    """Naive per-window max pooling (correctness oracle, never hot path)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, channels, height, width = inputs.shape
+    ph, pw = pool_size
+    out_h, out_w = _check_divisible("maxpool2d_forward_reference", height, width, pool_size)
+    output = np.zeros((batch, channels, out_h, out_w), dtype=np.float64)
+    for b in range(batch):
+        for c in range(channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = inputs[
+                        b, c, i * ph : (i + 1) * ph, j * pw : (j + 1) * pw
+                    ]
+                    output[b, c, i, j] = window.max()
+    return output
+
+
+def maxpool2d_backward_reference(
+    inputs: np.ndarray,
+    grad_output: np.ndarray,
+    pool_size: Tuple[int, int],
+) -> np.ndarray:
+    """Naive max-pooling backward (first maximum wins ties, like the kernel)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    grad_output = np.asarray(grad_output, dtype=np.float64)
+    ph, pw = pool_size
+    grad = np.zeros_like(inputs)
+    batch, channels, _, _ = inputs.shape
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+    for b in range(batch):
+        for c in range(channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = inputs[
+                        b, c, i * ph : (i + 1) * ph, j * pw : (j + 1) * pw
+                    ]
+                    flat_index = int(np.argmax(window))
+                    di, dj = divmod(flat_index, pw)
+                    grad[b, c, i * ph + di, j * pw + dj] += grad_output[b, c, i, j]
+    return grad
 
 
 class AveragePool2D(Layer):
@@ -30,13 +140,7 @@ class AveragePool2D(Layer):
 
     def output_shape(self, height: int, width: int) -> Tuple[int, int]:
         """Spatial output shape for an input of ``height x width``."""
-        ph, pw = self.pool_size
-        if height % ph != 0 or width % pw != 0:
-            raise ValueError(
-                f"{self.name}: input {height}x{width} not divisible by pool "
-                f"{ph}x{pw}"
-            )
-        return height // ph, width // pw
+        return _check_divisible(self.name, height, width, self.pool_size)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
@@ -55,47 +159,68 @@ class AveragePool2D(Layer):
         batch, channels, height, width = input_shape
         ph, pw = self.pool_size
         scale = 1.0 / (ph * pw)
-        grad = np.repeat(np.repeat(grad_output, ph, axis=2), pw, axis=3) * scale
-        return grad.reshape(input_shape)
+        grad = np.empty(input_shape, dtype=np.float64)
+        # One broadcast store into the windowed view of the output buffer.
+        grad.reshape(batch, channels, height // ph, ph, width // pw, pw)[...] = (
+            grad_output[:, :, :, None, :, None] * scale
+        )
+        return grad
 
 
 class MaxPool2D(Layer):
-    """Non-overlapping max pooling over ``(batch, channels, H, W)`` inputs."""
+    """Non-overlapping max pooling over ``(batch, channels, H, W)`` inputs.
+
+    The backward pass routes each window's gradient to the cached argmax
+    element (first maximum wins on ties).
+    """
 
     def __init__(self, pool_size: int | Tuple[int, int], name: str | None = None):
         super().__init__(name=name)
         self.pool_size = _pair(pool_size)
         if any(p <= 0 for p in self.pool_size):
             raise ValueError("pool_size entries must be positive")
-        self._mask: np.ndarray | None = None
+        self._argmax: np.ndarray | None = None
         self._input_shape: Tuple[int, ...] | None = None
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output shape for an input of ``height x width``."""
+        return _check_divisible(self.name, height, width, self.pool_size)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim != 4:
             raise ValueError(f"{self.name}: expected 4-D input, got {inputs.shape}")
         batch, channels, height, width = inputs.shape
+        out_h, out_w = self.output_shape(height, width)
         ph, pw = self.pool_size
-        if height % ph != 0 or width % pw != 0:
-            raise ValueError(
-                f"{self.name}: input {height}x{width} not divisible by pool "
-                f"{ph}x{pw}"
-            )
-        out_h, out_w = height // ph, width // pw
         self._input_shape = inputs.shape
-        windows = inputs.reshape(batch, channels, out_h, ph, out_w, pw)
-        output = windows.max(axis=(3, 5))
-        # Mask of the (first) argmax inside each window for routing gradients.
-        self._mask = windows == output[:, :, :, None, :, None]
-        # Ties split the gradient equally between maxima.
-        self._mask = self._mask / self._mask.sum(axis=(3, 5), keepdims=True)
-        return output
+        # (batch, channels, out_h, out_w, ph * pw) window-major layout so a
+        # single argmax over the last axis yields the routing index.
+        windows = np.ascontiguousarray(
+            inputs.reshape(batch, channels, out_h, ph, out_w, pw).transpose(
+                0, 1, 2, 4, 3, 5
+            )
+        ).reshape(batch, channels, out_h, out_w, ph * pw)
+        self._argmax = windows.argmax(axis=-1)
+        return np.take_along_axis(windows, self._argmax[..., None], axis=-1)[..., 0]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        mask = check_forward_called(self._mask, self)
+        argmax = check_forward_called(self._argmax, self)
         grad_output = np.asarray(grad_output, dtype=np.float64)
-        grad_windows = mask * grad_output[:, :, :, None, :, None]
-        return grad_windows.reshape(self._input_shape)
+        batch, channels, height, width = self._input_shape
+        ph, pw = self.pool_size
+        out_h, out_w = height // ph, width // pw
+        grad_windows = np.zeros(
+            (batch, channels, out_h, out_w, ph * pw), dtype=np.float64
+        )
+        np.put_along_axis(
+            grad_windows, argmax[..., None], grad_output[..., None], axis=-1
+        )
+        return np.ascontiguousarray(
+            grad_windows.reshape(batch, channels, out_h, out_w, ph, pw).transpose(
+                0, 1, 2, 4, 3, 5
+            )
+        ).reshape(self._input_shape)
 
 
 class GlobalAveragePool2D(Layer):

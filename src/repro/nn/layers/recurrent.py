@@ -5,10 +5,24 @@ sequence of (pooled image features, RF power) vectors and predicts the future
 received power.  All layers accept inputs of shape
 ``(batch, time, features)`` and can either return only the last hidden state
 (``return_sequences=False``, the paper's configuration) or the full sequence.
+
+The hot path is fused: the input projections of *all* time steps and gates are
+computed with one GEMM before the recurrence (``inputs @ w_x``), hidden/cell
+states and per-gate activations are written into buffers preallocated for the
+whole sequence, and the backward pass accumulates per-step pre-activation
+gradients into one buffer so every weight gradient reduces to a single
+``einsum`` over the time axis.  Only the inherently sequential ``h_{t-1} @
+w_h`` recurrence remains inside the time loop.
+
+The original step-by-step, list-accumulating implementations are retained as
+``*_forward_reference`` / ``*_gradients_reference`` module functions.  They
+are the correctness oracle for the fused kernels (see
+``tests/nn/test_kernel_equivalence.py``) and the baseline of the kernel
+micro-benchmarks; never call them from the training path.
 """
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -16,6 +30,292 @@ from repro.nn.initializers import get_initializer
 from repro.nn.layers.activations import stable_sigmoid
 from repro.nn.layers.base import Layer, check_forward_called
 from repro.utils.seeding import SeedLike
+
+
+def _expand_reference_grad(
+    grad_output: np.ndarray, batch: int, time_steps: int, hidden_size: int,
+    return_sequences: bool,
+) -> np.ndarray:
+    """Per-time-step gradient array for the reference backward passes."""
+    grad_output = np.asarray(grad_output, dtype=np.float64)
+    if return_sequences:
+        return grad_output
+    expanded = np.zeros((batch, time_steps, hidden_size), dtype=np.float64)
+    expanded[:, -1, :] = grad_output
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Loop reference implementations (the original per-step kernels)
+# ---------------------------------------------------------------------------
+
+
+def simple_rnn_forward_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    return_sequences: bool = False,
+) -> np.ndarray:
+    """Step-by-step Elman RNN forward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    hidden = np.zeros((batch, w_h.shape[0]), dtype=np.float64)
+    states: List[np.ndarray] = []
+    for t in range(time_steps):
+        pre = inputs[:, t, :] @ w_x + hidden @ w_h
+        hidden = np.tanh(pre + bias)
+        states.append(hidden)
+    if return_sequences:
+        return np.stack(states, axis=1)
+    return states[-1]
+
+
+def simple_rnn_gradients_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    grad_output: np.ndarray,
+    return_sequences: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Step-by-step Elman RNN backward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    hidden_size = w_h.shape[0]
+    hidden = np.zeros((batch, hidden_size), dtype=np.float64)
+    states = [hidden]
+    for t in range(time_steps):
+        pre = inputs[:, t, :] @ w_x + states[-1] @ w_h
+        states.append(np.tanh(pre + bias))
+
+    grad_seq = _expand_reference_grad(
+        grad_output, batch, time_steps, hidden_size, return_sequences
+    )
+    grad_inputs = np.zeros_like(inputs)
+    grad_w_x = np.zeros_like(w_x)
+    grad_w_h = np.zeros_like(w_h)
+    grad_bias = np.zeros_like(bias)
+    grad_hidden = np.zeros((batch, hidden_size), dtype=np.float64)
+    for t in reversed(range(time_steps)):
+        total = grad_seq[:, t, :] + grad_hidden
+        hidden = states[t + 1]
+        prev_hidden = states[t]
+        grad_pre = total * (1.0 - hidden * hidden)
+        grad_w_x += inputs[:, t, :].T @ grad_pre
+        grad_w_h += prev_hidden.T @ grad_pre
+        grad_bias += grad_pre.sum(axis=0)
+        grad_inputs[:, t, :] = grad_pre @ w_x.T
+        grad_hidden = grad_pre @ w_h.T
+    return {
+        "inputs": grad_inputs,
+        "w_x": grad_w_x,
+        "w_h": grad_w_h,
+        "bias": grad_bias,
+    }
+
+
+def gru_forward_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    return_sequences: bool = False,
+) -> np.ndarray:
+    """Step-by-step GRU forward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    hidden_size = w_h.shape[0]
+    hidden = np.zeros((batch, hidden_size), dtype=np.float64)
+    states: List[np.ndarray] = []
+    for t in range(time_steps):
+        x_proj = inputs[:, t, :] @ w_x + bias
+        h_proj = hidden @ w_h
+        z = stable_sigmoid(x_proj[:, :hidden_size] + h_proj[:, :hidden_size])
+        r = stable_sigmoid(
+            x_proj[:, hidden_size : 2 * hidden_size]
+            + h_proj[:, hidden_size : 2 * hidden_size]
+        )
+        n = np.tanh(
+            x_proj[:, 2 * hidden_size :] + r * h_proj[:, 2 * hidden_size :]
+        )
+        hidden = (1.0 - z) * n + z * hidden
+        states.append(hidden)
+    if return_sequences:
+        return np.stack(states, axis=1)
+    return states[-1]
+
+
+def gru_gradients_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    grad_output: np.ndarray,
+    return_sequences: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Step-by-step GRU backward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    H = w_h.shape[0]
+    hidden = np.zeros((batch, H), dtype=np.float64)
+    states = [hidden]
+    gates: List[tuple] = []
+    for t in range(time_steps):
+        x_proj = inputs[:, t, :] @ w_x + bias
+        h_proj = states[-1] @ w_h
+        z = stable_sigmoid(x_proj[:, :H] + h_proj[:, :H])
+        r = stable_sigmoid(x_proj[:, H : 2 * H] + h_proj[:, H : 2 * H])
+        n = np.tanh(x_proj[:, 2 * H :] + r * h_proj[:, 2 * H :])
+        gates.append((z, r, n, h_proj[:, 2 * H :]))
+        states.append((1.0 - z) * n + z * states[-1])
+
+    grad_seq = _expand_reference_grad(
+        grad_output, batch, time_steps, H, return_sequences
+    )
+    grad_inputs = np.zeros_like(inputs)
+    grad_w_x = np.zeros_like(w_x)
+    grad_w_h = np.zeros_like(w_h)
+    grad_bias = np.zeros_like(bias)
+    grad_hidden = np.zeros((batch, H), dtype=np.float64)
+    for t in reversed(range(time_steps)):
+        total = grad_seq[:, t, :] + grad_hidden
+        z, r, n, h_candidate_proj = gates[t]
+        prev_hidden = states[t]
+
+        grad_n = total * (1.0 - z)
+        grad_z = total * (prev_hidden - n)
+        grad_pre_n = grad_n * (1.0 - n * n)
+        grad_pre_z = grad_z * z * (1.0 - z)
+        grad_r = grad_pre_n * h_candidate_proj
+        grad_pre_r = grad_r * r * (1.0 - r)
+
+        grad_x_proj = np.concatenate([grad_pre_z, grad_pre_r, grad_pre_n], axis=1)
+        grad_h_proj = np.concatenate(
+            [grad_pre_z, grad_pre_r, grad_pre_n * r], axis=1
+        )
+
+        x_t = inputs[:, t, :]
+        grad_w_x += x_t.T @ grad_x_proj
+        grad_w_h += prev_hidden.T @ grad_h_proj
+        grad_bias += grad_x_proj.sum(axis=0)
+
+        grad_inputs[:, t, :] = grad_x_proj @ w_x.T
+        grad_hidden = total * z + grad_h_proj @ w_h.T
+    return {
+        "inputs": grad_inputs,
+        "w_x": grad_w_x,
+        "w_h": grad_w_h,
+        "bias": grad_bias,
+    }
+
+
+def lstm_forward_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    return_sequences: bool = False,
+) -> np.ndarray:
+    """Step-by-step LSTM forward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    H = w_h.shape[0]
+    hidden = np.zeros((batch, H), dtype=np.float64)
+    cell = np.zeros((batch, H), dtype=np.float64)
+    states: List[np.ndarray] = []
+    for t in range(time_steps):
+        pre = inputs[:, t, :] @ w_x + hidden @ w_h + bias
+        i = stable_sigmoid(pre[:, :H])
+        f = stable_sigmoid(pre[:, H : 2 * H])
+        g = np.tanh(pre[:, 2 * H : 3 * H])
+        o = stable_sigmoid(pre[:, 3 * H :])
+        cell = f * cell + i * g
+        hidden = o * np.tanh(cell)
+        states.append(hidden)
+    if return_sequences:
+        return np.stack(states, axis=1)
+    return states[-1]
+
+
+def lstm_gradients_reference(
+    inputs: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    grad_output: np.ndarray,
+    return_sequences: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Step-by-step LSTM backward pass (correctness oracle)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, time_steps, _ = inputs.shape
+    H = w_h.shape[0]
+    hidden = np.zeros((batch, H), dtype=np.float64)
+    cell = np.zeros((batch, H), dtype=np.float64)
+    hidden_states = [hidden]
+    cell_states = [cell]
+    gates: List[tuple] = []
+    for t in range(time_steps):
+        pre = inputs[:, t, :] @ w_x + hidden_states[-1] @ w_h + bias
+        i = stable_sigmoid(pre[:, :H])
+        f = stable_sigmoid(pre[:, H : 2 * H])
+        g = np.tanh(pre[:, 2 * H : 3 * H])
+        o = stable_sigmoid(pre[:, 3 * H :])
+        cell = f * cell_states[-1] + i * g
+        tanh_cell = np.tanh(cell)
+        gates.append((i, f, g, o, tanh_cell))
+        hidden_states.append(o * tanh_cell)
+        cell_states.append(cell)
+
+    grad_seq = _expand_reference_grad(
+        grad_output, batch, time_steps, H, return_sequences
+    )
+    grad_inputs = np.zeros_like(inputs)
+    grad_w_x = np.zeros_like(w_x)
+    grad_w_h = np.zeros_like(w_h)
+    grad_bias = np.zeros_like(bias)
+    grad_hidden = np.zeros((batch, H), dtype=np.float64)
+    grad_cell = np.zeros((batch, H), dtype=np.float64)
+    for t in reversed(range(time_steps)):
+        total = grad_seq[:, t, :] + grad_hidden
+        i, f, g, o, tanh_cell = gates[t]
+        prev_cell = cell_states[t]
+        prev_hidden = hidden_states[t]
+
+        grad_o = total * tanh_cell
+        grad_cell_t = grad_cell + total * o * (1.0 - tanh_cell * tanh_cell)
+        grad_i = grad_cell_t * g
+        grad_g = grad_cell_t * i
+        grad_f = grad_cell_t * prev_cell
+
+        grad_pre = np.concatenate(
+            [
+                grad_i * i * (1.0 - i),
+                grad_f * f * (1.0 - f),
+                grad_g * (1.0 - g * g),
+                grad_o * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+
+        grad_w_x += inputs[:, t, :].T @ grad_pre
+        grad_w_h += prev_hidden.T @ grad_pre
+        grad_bias += grad_pre.sum(axis=0)
+
+        grad_inputs[:, t, :] = grad_pre @ w_x.T
+        grad_hidden = grad_pre @ w_h.T
+        grad_cell = grad_cell_t * f
+    return {
+        "inputs": grad_inputs,
+        "w_x": grad_w_x,
+        "w_h": grad_w_h,
+        "bias": grad_bias,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fused layer implementations
+# ---------------------------------------------------------------------------
 
 
 class _RecurrentBase(Layer):
@@ -66,6 +366,20 @@ class _RecurrentBase(Layer):
         expanded[:, -1, :] = grad_output
         return expanded
 
+    def _new_state_buffer(self, batch: int, time_steps: int) -> np.ndarray:
+        """Time-major ``(T + 1, batch, H)`` state buffer with a zero initial row."""
+        states = np.empty(
+            (time_steps + 1, batch, self.hidden_size), dtype=np.float64
+        )
+        states[0] = 0.0
+        return states
+
+    def _emit(self, states: np.ndarray) -> np.ndarray:
+        """Layer output from the time-major state buffer ``states[1:]``."""
+        if self.return_sequences:
+            return np.ascontiguousarray(states[1:].transpose(1, 0, 2))
+        return states[-1].copy()
+
 
 class SimpleRNN(_RecurrentBase):
     """Elman RNN with tanh nonlinearity."""
@@ -97,35 +411,39 @@ class SimpleRNN(_RecurrentBase):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = self._check_input(inputs)
         batch, time_steps, _ = inputs.shape
-        hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
-        states: List[np.ndarray] = [hidden]
+        # One GEMM for the input projections of every time step.
+        x_proj = inputs @ self.w_x.value + self.bias.value
+        states = self._new_state_buffer(batch, time_steps)
+        w_h = self.w_h.value
         for t in range(time_steps):
-            pre = inputs[:, t, :] @ self.w_x.value + hidden @ self.w_h.value
-            hidden = np.tanh(pre + self.bias.value)
-            states.append(hidden)
+            np.tanh(x_proj[:, t, :] + states[t] @ w_h, out=states[t + 1])
         self._cache = (inputs, states)
-        if self.return_sequences:
-            return np.stack(states[1:], axis=1)
-        return states[-1]
+        return self._emit(states)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         inputs, states = check_forward_called(self._cache, self)
         batch, time_steps, _ = inputs.shape
         grad_seq = self._expand_output_grad(grad_output, time_steps)
 
-        grad_inputs = np.zeros_like(inputs)
+        grad_pre = np.empty(
+            (time_steps, batch, self.hidden_size), dtype=np.float64
+        )
         grad_hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
+        w_h_t = self.w_h.value.T
         for t in reversed(range(time_steps)):
             total = grad_seq[:, t, :] + grad_hidden
             hidden = states[t + 1]
-            prev_hidden = states[t]
-            grad_pre = total * (1.0 - hidden * hidden)
-            self.w_x.grad += inputs[:, t, :].T @ grad_pre
-            self.w_h.grad += prev_hidden.T @ grad_pre
-            self.bias.grad += grad_pre.sum(axis=0)
-            grad_inputs[:, t, :] = grad_pre @ self.w_x.value.T
-            grad_hidden = grad_pre @ self.w_h.value.T
-        return grad_inputs
+            grad_pre[t] = total * (1.0 - hidden * hidden)
+            grad_hidden = grad_pre[t] @ w_h_t
+        # Weight gradients reduce over the whole sequence in one einsum each.
+        self.w_x.grad += np.einsum("btf,tbh->fh", inputs, grad_pre, optimize=True)
+        self.w_h.grad += np.einsum(
+            "tbh,tbg->hg", states[:-1], grad_pre, optimize=True
+        )
+        self.bias.grad += grad_pre.sum(axis=(0, 1))
+        return np.ascontiguousarray(
+            grad_pre.transpose(1, 0, 2) @ self.w_x.value.T
+        )
 
 
 class GRU(_RecurrentBase):
@@ -164,60 +482,66 @@ class GRU(_RecurrentBase):
         inputs = self._check_input(inputs)
         batch, time_steps, _ = inputs.shape
         H = self.hidden_size
-        hidden = np.zeros((batch, H), dtype=np.float64)
-        states: List[np.ndarray] = [hidden]
-        gates: List[tuple] = []
+        # One GEMM for every gate of every time step.
+        x_proj = inputs @ self.w_x.value + self.bias.value
+        states = self._new_state_buffer(batch, time_steps)
+        # Per-gate activations for the whole sequence, preallocated.
+        z_all = np.empty((time_steps, batch, H), dtype=np.float64)
+        r_all = np.empty_like(z_all)
+        n_all = np.empty_like(z_all)
+        n_proj_all = np.empty_like(z_all)
+        w_h = self.w_h.value
         for t in range(time_steps):
-            x_t = inputs[:, t, :]
-            x_proj = x_t @ self.w_x.value + self.bias.value
-            h_proj = hidden @ self.w_h.value
-            z = stable_sigmoid(x_proj[:, :H] + h_proj[:, :H])
-            r = stable_sigmoid(x_proj[:, H : 2 * H] + h_proj[:, H : 2 * H])
-            n = np.tanh(x_proj[:, 2 * H :] + r * h_proj[:, 2 * H :])
-            new_hidden = (1.0 - z) * n + z * hidden
-            gates.append((z, r, n, h_proj[:, 2 * H :]))
-            hidden = new_hidden
-            states.append(hidden)
-        self._cache = (inputs, states, gates)
-        if self.return_sequences:
-            return np.stack(states[1:], axis=1)
-        return states[-1]
+            h_proj = states[t] @ w_h
+            z_all[t] = stable_sigmoid(x_proj[:, t, :H] + h_proj[:, :H])
+            r_all[t] = stable_sigmoid(x_proj[:, t, H : 2 * H] + h_proj[:, H : 2 * H])
+            n_proj_all[t] = h_proj[:, 2 * H :]
+            n_all[t] = np.tanh(x_proj[:, t, 2 * H :] + r_all[t] * n_proj_all[t])
+            states[t + 1] = (1.0 - z_all[t]) * n_all[t] + z_all[t] * states[t]
+        self._cache = (inputs, states, z_all, r_all, n_all, n_proj_all)
+        return self._emit(states)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        inputs, states, gates = check_forward_called(self._cache, self)
+        inputs, states, z_all, r_all, n_all, n_proj_all = check_forward_called(
+            self._cache, self
+        )
         batch, time_steps, _ = inputs.shape
         H = self.hidden_size
         grad_seq = self._expand_output_grad(grad_output, time_steps)
 
-        grad_inputs = np.zeros_like(inputs)
+        grad_x_proj = np.empty((time_steps, batch, 3 * H), dtype=np.float64)
+        grad_h_proj = np.empty_like(grad_x_proj)
         grad_hidden = np.zeros((batch, H), dtype=np.float64)
+        w_h_t = self.w_h.value.T
         for t in reversed(range(time_steps)):
             total = grad_seq[:, t, :] + grad_hidden
-            z, r, n, h_candidate_proj = gates[t]
+            z, r, n, n_proj = z_all[t], r_all[t], n_all[t], n_proj_all[t]
             prev_hidden = states[t]
 
             grad_n = total * (1.0 - z)
             grad_z = total * (prev_hidden - n)
             grad_pre_n = grad_n * (1.0 - n * n)
             grad_pre_z = grad_z * z * (1.0 - z)
-            grad_r = grad_pre_n * h_candidate_proj
-            grad_pre_r = grad_r * r * (1.0 - r)
+            grad_pre_r = grad_pre_n * n_proj * r * (1.0 - r)
 
-            grad_x_proj = np.concatenate([grad_pre_z, grad_pre_r, grad_pre_n], axis=1)
-            # Hidden projection receives grad_pre_n scaled by reset gate on the
-            # candidate block, and the gate gradients on the z/r blocks.
-            grad_h_proj = np.concatenate(
-                [grad_pre_z, grad_pre_r, grad_pre_n * r], axis=1
-            )
+            grad_x_proj[t, :, :H] = grad_pre_z
+            grad_x_proj[t, :, H : 2 * H] = grad_pre_r
+            grad_x_proj[t, :, 2 * H :] = grad_pre_n
+            grad_h_proj[t, :, : 2 * H] = grad_x_proj[t, :, : 2 * H]
+            grad_h_proj[t, :, 2 * H :] = grad_pre_n * r
 
-            x_t = inputs[:, t, :]
-            self.w_x.grad += x_t.T @ grad_x_proj
-            self.w_h.grad += prev_hidden.T @ grad_h_proj
-            self.bias.grad += grad_x_proj.sum(axis=0)
+            grad_hidden = total * z + grad_h_proj[t] @ w_h_t
 
-            grad_inputs[:, t, :] = grad_x_proj @ self.w_x.value.T
-            grad_hidden = total * z + grad_h_proj @ self.w_h.value.T
-        return grad_inputs
+        self.w_x.grad += np.einsum(
+            "btf,tbg->fg", inputs, grad_x_proj, optimize=True
+        )
+        self.w_h.grad += np.einsum(
+            "tbh,tbg->hg", states[:-1], grad_h_proj, optimize=True
+        )
+        self.bias.grad += grad_x_proj.sum(axis=(0, 1))
+        return np.ascontiguousarray(
+            grad_x_proj.transpose(1, 0, 2) @ self.w_x.value.T
+        )
 
 
 class LSTM(_RecurrentBase):
@@ -257,68 +581,66 @@ class LSTM(_RecurrentBase):
         inputs = self._check_input(inputs)
         batch, time_steps, _ = inputs.shape
         H = self.hidden_size
-        hidden = np.zeros((batch, H), dtype=np.float64)
-        cell = np.zeros((batch, H), dtype=np.float64)
-        hidden_states: List[np.ndarray] = [hidden]
-        cell_states: List[np.ndarray] = [cell]
-        gates: List[tuple] = []
+        # One GEMM for every gate of every time step.
+        x_proj = inputs @ self.w_x.value + self.bias.value
+        states = self._new_state_buffer(batch, time_steps)
+        cells = self._new_state_buffer(batch, time_steps)
+        gates = np.empty((time_steps, batch, 4 * H), dtype=np.float64)
+        tanh_cells = np.empty((time_steps, batch, H), dtype=np.float64)
+        w_h = self.w_h.value
         for t in range(time_steps):
-            x_t = inputs[:, t, :]
-            pre = x_t @ self.w_x.value + hidden @ self.w_h.value + self.bias.value
-            i = stable_sigmoid(pre[:, :H])
-            f = stable_sigmoid(pre[:, H : 2 * H])
-            g = np.tanh(pre[:, 2 * H : 3 * H])
-            o = stable_sigmoid(pre[:, 3 * H :])
-            cell = f * cell + i * g
-            tanh_cell = np.tanh(cell)
-            hidden = o * tanh_cell
-            gates.append((i, f, g, o, tanh_cell))
-            hidden_states.append(hidden)
-            cell_states.append(cell)
-        self._cache = (inputs, hidden_states, cell_states, gates)
-        if self.return_sequences:
-            return np.stack(hidden_states[1:], axis=1)
-        return hidden_states[-1]
+            pre = x_proj[:, t, :] + states[t] @ w_h
+            gates[t, :, :H] = stable_sigmoid(pre[:, :H])
+            gates[t, :, H : 2 * H] = stable_sigmoid(pre[:, H : 2 * H])
+            gates[t, :, 2 * H : 3 * H] = np.tanh(pre[:, 2 * H : 3 * H])
+            gates[t, :, 3 * H :] = stable_sigmoid(pre[:, 3 * H :])
+            i = gates[t, :, :H]
+            f = gates[t, :, H : 2 * H]
+            g = gates[t, :, 2 * H : 3 * H]
+            o = gates[t, :, 3 * H :]
+            cells[t + 1] = f * cells[t] + i * g
+            np.tanh(cells[t + 1], out=tanh_cells[t])
+            states[t + 1] = o * tanh_cells[t]
+        self._cache = (inputs, states, cells, gates, tanh_cells)
+        return self._emit(states)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        inputs, hidden_states, cell_states, gates = check_forward_called(
+        inputs, states, cells, gates, tanh_cells = check_forward_called(
             self._cache, self
         )
         batch, time_steps, _ = inputs.shape
         H = self.hidden_size
         grad_seq = self._expand_output_grad(grad_output, time_steps)
 
-        grad_inputs = np.zeros_like(inputs)
+        grad_pre = np.empty((time_steps, batch, 4 * H), dtype=np.float64)
         grad_hidden = np.zeros((batch, H), dtype=np.float64)
         grad_cell = np.zeros((batch, H), dtype=np.float64)
+        w_h_t = self.w_h.value.T
         for t in reversed(range(time_steps)):
             total = grad_seq[:, t, :] + grad_hidden
-            i, f, g, o, tanh_cell = gates[t]
-            prev_cell = cell_states[t]
-            prev_hidden = hidden_states[t]
+            i = gates[t, :, :H]
+            f = gates[t, :, H : 2 * H]
+            g = gates[t, :, 2 * H : 3 * H]
+            o = gates[t, :, 3 * H :]
+            tanh_cell = tanh_cells[t]
+            prev_cell = cells[t]
 
             grad_o = total * tanh_cell
             grad_cell_t = grad_cell + total * o * (1.0 - tanh_cell * tanh_cell)
-            grad_i = grad_cell_t * g
-            grad_g = grad_cell_t * i
-            grad_f = grad_cell_t * prev_cell
 
-            grad_pre = np.concatenate(
-                [
-                    grad_i * i * (1.0 - i),
-                    grad_f * f * (1.0 - f),
-                    grad_g * (1.0 - g * g),
-                    grad_o * o * (1.0 - o),
-                ],
-                axis=1,
-            )
+            grad_pre[t, :, :H] = grad_cell_t * g * i * (1.0 - i)
+            grad_pre[t, :, H : 2 * H] = grad_cell_t * prev_cell * f * (1.0 - f)
+            grad_pre[t, :, 2 * H : 3 * H] = grad_cell_t * i * (1.0 - g * g)
+            grad_pre[t, :, 3 * H :] = grad_o * o * (1.0 - o)
 
-            x_t = inputs[:, t, :]
-            self.w_x.grad += x_t.T @ grad_pre
-            self.w_h.grad += prev_hidden.T @ grad_pre
-            self.bias.grad += grad_pre.sum(axis=0)
-
-            grad_inputs[:, t, :] = grad_pre @ self.w_x.value.T
-            grad_hidden = grad_pre @ self.w_h.value.T
+            grad_hidden = grad_pre[t] @ w_h_t
             grad_cell = grad_cell_t * f
-        return grad_inputs
+
+        self.w_x.grad += np.einsum("btf,tbg->fg", inputs, grad_pre, optimize=True)
+        self.w_h.grad += np.einsum(
+            "tbh,tbg->hg", states[:-1], grad_pre, optimize=True
+        )
+        self.bias.grad += grad_pre.sum(axis=(0, 1))
+        return np.ascontiguousarray(
+            grad_pre.transpose(1, 0, 2) @ self.w_x.value.T
+        )

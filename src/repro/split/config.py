@@ -137,6 +137,10 @@ class TrainingConfig:
             time they form the elapsed-training-time axis of Fig. 3a.
         max_retransmissions: per-payload retransmission cap (``None`` = retry
             until decoded, the paper's behaviour).
+        eval_batch_size: inference minibatch size used for validation and
+            prediction.  Purely a throughput/memory knob: it bounds the size
+            of the cached im2col buffers and recurrent state buffers during
+            evaluation and never changes predictions.
         seed: RNG seed controlling weight init, batch sampling and fading.
     """
 
@@ -151,11 +155,14 @@ class TrainingConfig:
     ue_compute_time_s: float = 0.020
     bs_compute_time_s: float = 0.010
     max_retransmissions: int | None = None
+    eval_batch_size: int = 256
     seed: int = 0
 
     def __post_init__(self):
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.eval_batch_size <= 0:
+            raise ValueError("eval_batch_size must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:

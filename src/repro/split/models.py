@@ -36,6 +36,10 @@ def build_ue_cnn(config: ModelConfig, seed: SeedLike = None) -> Sequential:
     ``(batch, 1, N_H, N_W)`` output image using 'same'-padded convolutions, so
     that the subsequent pooling stage controls the transmitted resolution
     exactly as in the paper.
+
+    The convolutions run with ``cache_patches=True``: training feeds the CNN a
+    fixed ``batch * L`` image geometry every step, so each layer's im2col
+    column buffer is allocated once and reused for the whole run.
     """
     if not config.use_image:
         raise ValueError("cannot build a UE CNN for an RF-only configuration")
@@ -49,6 +53,7 @@ def build_ue_cnn(config: ModelConfig, seed: SeedLike = None) -> Sequential:
                 out_channels,
                 config.cnn_kernel_size,
                 padding="same",
+                cache_patches=True,
                 seed=seeds[index],
                 name=f"conv{index}",
             )
@@ -61,6 +66,7 @@ def build_ue_cnn(config: ModelConfig, seed: SeedLike = None) -> Sequential:
             1,
             config.cnn_kernel_size,
             padding="same",
+            cache_patches=True,
             seed=seeds[-1],
             name="conv_out",
         )

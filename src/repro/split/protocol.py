@@ -149,14 +149,19 @@ class SplitTrainingProtocol:
         self,
         image_sequences: Optional[np.ndarray],
         rf_sequences: Optional[np.ndarray],
-        batch_size: int = 256,
+        batch_size: Optional[int] = None,
     ) -> np.ndarray:
         """Predict normalized received power for a set of sequences.
 
         Inference is performed in evaluation mode and in minibatches to bound
-        memory use; no communication time is simulated (prediction payloads
-        are single feature vectors, negligible next to training payloads).
+        memory use (``batch_size`` also caps the cached im2col buffer the CNN
+        reuses across minibatches); no communication time is simulated
+        (prediction payloads are single feature vectors, negligible next to
+        training payloads).  ``batch_size`` defaults to
+        ``TrainingConfig.eval_batch_size``.
         """
+        if batch_size is None:
+            batch_size = self.config.training.eval_batch_size
         model = self.config.model
         if model.use_image and image_sequences is None:
             raise ValueError("image_sequences required by this configuration")

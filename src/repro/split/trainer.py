@@ -192,7 +192,9 @@ class SplitTrainer:
             if model.use_rf
             else None
         )
-        normalized = self.protocol.predict(images, powers)
+        normalized = self.protocol.predict(
+            images, powers, batch_size=self.config.training.eval_batch_size
+        )
         return self.normalizer.denormalize(normalized)
 
     def evaluate(self, sequences: SequenceDataset) -> float:

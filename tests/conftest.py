@@ -7,16 +7,40 @@ realistic data rather than a specific configuration.
 """
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.dataset import build_sequences, generate_small_dataset, temporal_split
 from repro.split import ExperimentConfig, ModelConfig, TrainingConfig
 
+from tests.gradcheck import (
+    check_layer_gradients,
+    numerical_input_gradient,
+    numerical_parameter_gradient,
+)
+
 
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gradcheck() -> SimpleNamespace:
+    """Numerical gradient-checking helpers as one injectable bundle.
+
+    ``gradcheck.layer(layer, inputs, target_shape, rng, atol=...)`` asserts
+    that a layer's analytic gradients match central differences; the raw
+    helpers are exposed as ``gradcheck.parameter_gradient`` and
+    ``gradcheck.input_gradient``.
+    """
+    return SimpleNamespace(
+        layer=check_layer_gradients,
+        parameter_gradient=numerical_parameter_gradient,
+        input_gradient=numerical_input_gradient,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,9 @@
-"""Numerical gradient checking helpers shared by the nn layer tests."""
+"""Numerical gradient checking helpers shared by the nn layer tests.
+
+Import :func:`check_layer_gradients` directly, or use the ``gradcheck``
+fixture exposed by ``tests/conftest.py`` which binds it together with the
+numerical-difference helpers.
+"""
 from __future__ import annotations
 
 import numpy as np

@@ -5,7 +5,7 @@ import pytest
 from repro.nn import Identity, LeakyReLU, ReLU, Sigmoid, Softplus, Tanh, get_activation
 from repro.nn.layers.activations import stable_sigmoid
 
-from tests.nn.gradcheck import check_layer_gradients
+from tests.gradcheck import check_layer_gradients
 
 
 @pytest.fixture()

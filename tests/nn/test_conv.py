@@ -5,7 +5,7 @@ import pytest
 from repro.nn import Conv2D
 from repro.nn.layers.conv import col2im, conv_output_size, im2col
 
-from tests.nn.gradcheck import check_layer_gradients
+from tests.gradcheck import check_layer_gradients
 
 
 @pytest.fixture()

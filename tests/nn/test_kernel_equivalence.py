@@ -1,0 +1,256 @@
+"""Vectorized kernels vs. the retained loop ``*_reference`` implementations.
+
+The conv / pooling / recurrent hot paths are lowered to strided copies and
+batched GEMMs; the naive loop implementations they replaced are kept as
+module-level ``*_reference`` functions.  These tests pin the vectorized paths
+to the references — forward outputs and every gradient — to well below the
+1e-6 acceptance tolerance, and additionally gradient-check the vectorized
+layers against central differences through the shared ``gradcheck`` fixture.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.conv import (
+    Conv2D,
+    conv2d_backward_reference,
+    conv2d_forward_reference,
+)
+from repro.nn.layers.pooling import (
+    AveragePool2D,
+    MaxPool2D,
+    avgpool2d_backward_reference,
+    avgpool2d_forward_reference,
+    maxpool2d_backward_reference,
+    maxpool2d_forward_reference,
+)
+from repro.nn.layers.recurrent import (
+    GRU,
+    LSTM,
+    SimpleRNN,
+    gru_forward_reference,
+    gru_gradients_reference,
+    lstm_forward_reference,
+    lstm_gradients_reference,
+    simple_rnn_forward_reference,
+    simple_rnn_gradients_reference,
+)
+
+TOL = 1e-6
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(1234)
+
+
+# -- convolution -------------------------------------------------------------
+
+CONV_CASES = [
+    # (batch, in_ch, out_ch, height, width, kernel, stride, padding)
+    pytest.param(2, 3, 4, 8, 8, 3, 1, 1, id="same-3x3"),
+    pytest.param(2, 1, 2, 9, 7, 3, 2, 1, id="stride2-nonsquare"),
+    pytest.param(1, 2, 3, 6, 10, (3, 5), (2, 3), (1, 2), id="rect-kernel"),
+    pytest.param(3, 1, 1, 5, 5, 1, 1, 0, id="pointwise"),
+    pytest.param(2, 4, 2, 6, 6, 3, 3, 0, id="stride3-valid"),
+]
+
+
+@pytest.mark.parametrize(
+    "batch,in_ch,out_ch,height,width,kernel,stride,padding", CONV_CASES
+)
+def test_conv_forward_matches_reference(
+    gen, batch, in_ch, out_ch, height, width, kernel, stride, padding
+):
+    layer = Conv2D(in_ch, out_ch, kernel, stride=stride, padding=padding, seed=3)
+    inputs = gen.normal(size=(batch, in_ch, height, width))
+    vectorized = layer.forward(inputs)
+    reference = conv2d_forward_reference(
+        inputs, layer.weight.value, layer.bias.value, layer.stride, layer.padding
+    )
+    assert vectorized.shape == reference.shape
+    assert np.max(np.abs(vectorized - reference)) <= TOL
+
+
+@pytest.mark.parametrize(
+    "batch,in_ch,out_ch,height,width,kernel,stride,padding", CONV_CASES
+)
+def test_conv_backward_matches_reference(
+    gen, batch, in_ch, out_ch, height, width, kernel, stride, padding
+):
+    layer = Conv2D(in_ch, out_ch, kernel, stride=stride, padding=padding, seed=3)
+    inputs = gen.normal(size=(batch, in_ch, height, width))
+    output = layer.forward(inputs)
+    grad_output = gen.normal(size=output.shape)
+
+    layer.zero_grad()
+    grad_inputs = layer.backward(grad_output)
+    ref_inputs, ref_weight, ref_bias = conv2d_backward_reference(
+        inputs, layer.weight.value, grad_output, layer.stride, layer.padding
+    )
+    assert np.max(np.abs(grad_inputs - ref_inputs)) <= TOL
+    assert np.max(np.abs(layer.weight.grad - ref_weight)) <= TOL
+    assert np.max(np.abs(layer.bias.grad - ref_bias)) <= TOL
+
+
+def test_conv_cached_patch_buffer_is_reused_and_correct(gen):
+    layer = Conv2D(2, 3, 3, padding=1, seed=0)
+    inputs_a = gen.normal(size=(4, 2, 6, 6))
+    inputs_b = gen.normal(size=(4, 2, 6, 6))
+    layer.forward(inputs_a)
+    first_buffer = layer._cols
+    vectorized = layer.forward(inputs_b)
+    assert layer._cols is first_buffer  # same geometry: buffer reused
+    reference = conv2d_forward_reference(
+        inputs_b, layer.weight.value, layer.bias.value, layer.stride, layer.padding
+    )
+    assert np.max(np.abs(vectorized - reference)) <= TOL
+    # A different geometry must reallocate, not corrupt.
+    smaller = gen.normal(size=(2, 2, 4, 4))
+    vectorized_small = layer.forward(smaller)
+    reference_small = conv2d_forward_reference(
+        smaller, layer.weight.value, layer.bias.value, layer.stride, layer.padding
+    )
+    assert np.max(np.abs(vectorized_small - reference_small)) <= TOL
+
+
+def test_conv_gradcheck_vectorized_path(gen, gradcheck):
+    layer = Conv2D(2, 2, 3, stride=2, padding=1, seed=7)
+    inputs = gen.normal(size=(2, 2, 7, 5))
+    gradcheck.layer(layer, inputs, (2, 2, 4, 3), gen, atol=1e-6)
+
+
+# -- pooling -----------------------------------------------------------------
+
+POOL_CASES = [
+    # (batch, channels, height, width, pool)
+    pytest.param(2, 3, 8, 8, 2, id="2x2"),
+    pytest.param(1, 1, 12, 8, (3, 4), id="rect-pool"),
+    pytest.param(3, 2, 6, 10, (6, 10), id="global-window"),
+    pytest.param(2, 1, 4, 4, 1, id="identity"),
+]
+
+
+@pytest.mark.parametrize("batch,channels,height,width,pool", POOL_CASES)
+def test_avgpool_matches_reference(gen, batch, channels, height, width, pool):
+    layer = AveragePool2D(pool)
+    inputs = gen.normal(size=(batch, channels, height, width))
+    vectorized = layer.forward(inputs)
+    reference = avgpool2d_forward_reference(inputs, layer.pool_size)
+    assert np.max(np.abs(vectorized - reference)) <= TOL
+
+    grad_output = gen.normal(size=vectorized.shape)
+    grad_inputs = layer.backward(grad_output)
+    ref_grad = avgpool2d_backward_reference(
+        grad_output, inputs.shape, layer.pool_size
+    )
+    assert np.max(np.abs(grad_inputs - ref_grad)) <= TOL
+
+
+@pytest.mark.parametrize("batch,channels,height,width,pool", POOL_CASES)
+def test_maxpool_matches_reference(gen, batch, channels, height, width, pool):
+    layer = MaxPool2D(pool)
+    inputs = gen.normal(size=(batch, channels, height, width))
+    vectorized = layer.forward(inputs)
+    reference = maxpool2d_forward_reference(inputs, layer.pool_size)
+    assert np.max(np.abs(vectorized - reference)) <= TOL
+
+    grad_output = gen.normal(size=vectorized.shape)
+    grad_inputs = layer.backward(grad_output)
+    ref_grad = maxpool2d_backward_reference(inputs, grad_output, layer.pool_size)
+    assert np.max(np.abs(grad_inputs - ref_grad)) <= TOL
+
+
+def test_maxpool_tie_routing_matches_reference():
+    """Constant windows: the whole gradient goes to the first maximum."""
+    layer = MaxPool2D(2)
+    inputs = np.ones((1, 1, 4, 4))
+    layer.forward(inputs)
+    grad_inputs = layer.backward(np.ones((1, 1, 2, 2)))
+    ref_grad = maxpool2d_backward_reference(
+        inputs, np.ones((1, 1, 2, 2)), layer.pool_size
+    )
+    assert np.array_equal(grad_inputs, ref_grad)
+    # Each 2x2 window routes its unit gradient to exactly one element.
+    assert grad_inputs.sum() == pytest.approx(4.0)
+    assert np.count_nonzero(grad_inputs) == 4
+
+
+def test_pooling_gradcheck_vectorized_path(gen, gradcheck):
+    gradcheck.layer(
+        AveragePool2D((2, 3)), gen.normal(size=(2, 2, 4, 6)), (2, 2, 2, 2), gen
+    )
+    gradcheck.layer(
+        MaxPool2D(2), gen.normal(size=(2, 2, 4, 4)), (2, 2, 2, 2), gen, atol=1e-5
+    )
+
+
+# -- recurrent ---------------------------------------------------------------
+
+RECURRENT_SPECS = [
+    pytest.param(
+        SimpleRNN, simple_rnn_forward_reference, simple_rnn_gradients_reference,
+        id="simple-rnn",
+    ),
+    pytest.param(GRU, gru_forward_reference, gru_gradients_reference, id="gru"),
+    pytest.param(LSTM, lstm_forward_reference, lstm_gradients_reference, id="lstm"),
+]
+
+
+@pytest.mark.parametrize("cls,forward_reference,gradients_reference", RECURRENT_SPECS)
+@pytest.mark.parametrize("return_sequences", [False, True])
+def test_recurrent_forward_matches_reference(
+    gen, cls, forward_reference, gradients_reference, return_sequences
+):
+    layer = cls(
+        input_size=5, hidden_size=6, return_sequences=return_sequences, seed=11
+    )
+    inputs = gen.normal(size=(3, 4, 5))
+    vectorized = layer.forward(inputs)
+    reference = forward_reference(
+        inputs,
+        layer.w_x.value,
+        layer.w_h.value,
+        layer.bias.value,
+        return_sequences=return_sequences,
+    )
+    assert vectorized.shape == reference.shape
+    assert np.max(np.abs(vectorized - reference)) <= TOL
+
+
+@pytest.mark.parametrize("cls,forward_reference,gradients_reference", RECURRENT_SPECS)
+@pytest.mark.parametrize("return_sequences", [False, True])
+def test_recurrent_gradients_match_reference(
+    gen, cls, forward_reference, gradients_reference, return_sequences
+):
+    layer = cls(
+        input_size=4, hidden_size=5, return_sequences=return_sequences, seed=13
+    )
+    inputs = gen.normal(size=(2, 6, 4))
+    output = layer.forward(inputs)
+    grad_output = gen.normal(size=output.shape)
+
+    layer.zero_grad()
+    grad_inputs = layer.backward(grad_output)
+    reference = gradients_reference(
+        inputs,
+        layer.w_x.value,
+        layer.w_h.value,
+        layer.bias.value,
+        grad_output,
+        return_sequences=return_sequences,
+    )
+    assert np.max(np.abs(grad_inputs - reference["inputs"])) <= TOL
+    assert np.max(np.abs(layer.w_x.grad - reference["w_x"])) <= TOL
+    assert np.max(np.abs(layer.w_h.grad - reference["w_h"])) <= TOL
+    assert np.max(np.abs(layer.bias.grad - reference["bias"])) <= TOL
+
+
+@pytest.mark.parametrize("cls,forward_reference,gradients_reference", RECURRENT_SPECS)
+def test_recurrent_gradcheck_vectorized_path(
+    gen, gradcheck, cls, forward_reference, gradients_reference
+):
+    layer = cls(input_size=3, hidden_size=4, seed=2)
+    inputs = gen.normal(size=(2, 4, 3))
+    gradcheck.layer(layer, inputs, (2, 4), gen, atol=1e-6)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.nn import AveragePool2D, GlobalAveragePool2D, MaxPool2D
 
-from tests.nn.gradcheck import check_layer_gradients
+from tests.gradcheck import check_layer_gradients
 
 
 @pytest.fixture()

@@ -89,6 +89,8 @@ def test_training_config_validation():
         TrainingConfig(beta1=1.0)
     with pytest.raises(ValueError):
         TrainingConfig(max_retransmissions=-2)
+    with pytest.raises(ValueError):
+        TrainingConfig(eval_batch_size=0)
 
 
 def test_experiment_config_describe():

@@ -148,6 +148,19 @@ def test_protocol_predict_shapes_and_modes(model_config, training_config, gen):
         protocol.predict(images, None)
 
 
+def test_protocol_predict_independent_of_batch_size(
+    model_config, training_config, gen
+):
+    """eval_batch_size is a throughput knob only: predictions are identical."""
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    images, powers, _ = make_batch(gen, batch=10)
+    full = protocol.predict(images, powers, batch_size=10)
+    chunked = protocol.predict(images, powers, batch_size=3)
+    assert np.allclose(full, chunked)
+
+
 def test_protocol_num_parameters_counts_both_halves(model_config, training_config):
     protocol = SplitTrainingProtocol(
         ExperimentConfig(model=model_config, training=training_config)

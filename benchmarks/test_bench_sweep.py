@@ -1,0 +1,80 @@
+"""Benchmark the sweep orchestrator: cold grid, warm cache, parallel speedup.
+
+The sweep's value proposition is operational rather than numerical: repeated
+sweeps must be dominated by the experiment (not dataset generation) thanks to
+the content-addressed cache, and the process pool must not change any metric.
+The benchmark runs a {2 scenarios x 2 seeds} Table-1 grid at the selected
+scale and reports cold vs warm wall-clock.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_config_factory(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("bench-sweep-cache")
+
+    def factory(**overrides):
+        defaults = dict(
+            scenarios=("paper_baseline", "dense_crowd"),
+            seeds=(0, 1),
+            experiment="table1",
+            scale="smoke",
+            parallel=False,
+            cache_dir=str(cache_dir),
+        )
+        defaults.update(overrides)
+        return SweepConfig(**defaults)
+
+    return factory
+
+
+def test_sweep_cold_then_warm(benchmark, sweep_config_factory):
+    cold = run_sweep(sweep_config_factory())
+    warm = benchmark.pedantic(
+        lambda: run_sweep(sweep_config_factory()), rounds=1, iterations=1
+    )
+
+    print("\n=== sweep orchestrator: cold vs warm cache (2 scenarios x 2 seeds) ===")
+    print(f"cold wall-clock: {cold['wall_clock_s']:.2f}s (cache hits 0/4)")
+    hits = sum(
+        cell["dataset_cache_hit"]
+        for entry in warm["scenarios"].values()
+        for cell in entry["cells"]
+    )
+    print(f"warm wall-clock: {warm['wall_clock_s']:.2f}s (cache hits {hits}/4)")
+
+    assert hits == 4, "warm sweep must hit the dataset cache for every cell"
+    # Loading a cached npz must beat regenerating; compare the dataset phase
+    # only (total wall clock is dominated by the experiment and too noisy).
+    def dataset_seconds(artifact):
+        return sum(
+            cell["dataset_seconds"]
+            for entry in artifact["scenarios"].values()
+            for cell in entry["cells"]
+        )
+
+    assert dataset_seconds(warm) < dataset_seconds(cold)
+    for name in cold["scenarios"]:
+        assert (
+            cold["scenarios"][name]["aggregate"]
+            == warm["scenarios"][name]["aggregate"]
+        )
+
+
+def test_sweep_parallel_matches_serial(sweep_config_factory):
+    serial = run_sweep(sweep_config_factory())
+    parallel = run_sweep(sweep_config_factory(parallel=True, max_workers=2))
+
+    print("\n=== sweep orchestrator: serial vs parallel (warm cache) ===")
+    print(f"serial:   {serial['wall_clock_s']:.2f}s")
+    print(f"parallel: {parallel['wall_clock_s']:.2f}s (x{parallel['max_workers']})")
+
+    for name in serial["scenarios"]:
+        assert (
+            serial["scenarios"][name]["aggregate"]
+            == parallel["scenarios"][name]["aggregate"]
+        )

@@ -1,0 +1,62 @@
+"""Sweep one experiment across scenarios and seeds with the orchestrator.
+
+The paper evaluates a single corridor scene; the scenario registry opens the
+same pipeline to any environment you can describe — denser crowds, faster
+walkers, longer corridors, wider camera optics — and the sweep orchestrator
+runs {scenario x seed} grids in parallel with content-addressed dataset
+caching, aggregating mean/std metrics per scenario.
+
+This script prints the built-in catalog, registers a custom scenario, and runs
+a small Table-1 sweep over three scenarios (the equivalent CLI is
+``python -m repro.experiments.sweep --scenarios ... --seeds 2``).
+
+Run with:  python examples/scenario_sweep.py
+"""
+from __future__ import annotations
+
+from repro.experiments import SweepConfig, format_summary, run_sweep
+from repro.scenarios import (
+    Scenario,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scene.actors import PedestrianTrafficConfig
+
+
+def main() -> None:
+    print("Registered scenario catalog:\n")
+    for name in scenario_names():
+        print(f"  {get_scenario(name).describe()}")
+
+    # Custom scenarios are one register() call away; they are content-hashed,
+    # so datasets generated for them are cached like any built-in preset.
+    register(
+        Scenario(
+            name="evening_rush",
+            description="Dense, hurried traffic: the worst case for the link.",
+            traffic=PedestrianTrafficConfig(
+                mean_interarrival_s=1.2, speed_range_mps=(1.6, 2.4)
+            ),
+        ),
+        overwrite=True,
+    )
+
+    print("\nRunning a Table-1 sweep: 3 scenarios x 2 seeds (smoke scale) ...\n")
+    artifact = run_sweep(
+        SweepConfig(
+            scenarios=("paper_baseline", "dense_crowd", "evening_rush"),
+            seeds=(0, 1),
+            experiment="table1",
+            scale="smoke",
+        )
+    )
+    print(format_summary(artifact))
+    print(
+        "\nRe-running this script reuses the cached datasets; pass different "
+        "seeds or scenarios to extend the grid."
+    )
+
+
+if __name__ == "__main__":
+    main()

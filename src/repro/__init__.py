@@ -12,9 +12,11 @@ The package is organized as:
   cut-layer traffic;
 * :mod:`repro.split` — the core multimodal split-learning framework;
 * :mod:`repro.privacy` — MDS-based privacy-leakage metrics;
-* :mod:`repro.experiments` — runners for every figure and table of the paper.
+* :mod:`repro.scenarios` — named, frozen environment presets and registry;
+* :mod:`repro.experiments` — runners for every figure and table of the paper,
+  plus the multi-scenario / multi-seed sweep orchestrator.
 """
-from repro import channel, dataset, experiments, mmwave, nn, privacy, scene, split, utils
+from repro import channel, dataset, experiments, mmwave, nn, privacy, scenarios, scene, split, utils
 
 __version__ = "1.0.0"
 
@@ -26,6 +28,7 @@ __all__ = [
     "mmwave",
     "nn",
     "privacy",
+    "scenarios",
     "scene",
     "split",
     "utils",

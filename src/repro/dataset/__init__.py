@@ -1,6 +1,7 @@
 """Synthetic dataset generation, sequence building and train/val splitting."""
 from repro.dataset.cache import (
     config_fingerprint,
+    dataset_cache_path,
     default_cache_dir,
     get_or_generate,
     load_dataset,
@@ -42,6 +43,7 @@ __all__ = [
     "TrainValidationSplit",
     "build_sequences",
     "config_fingerprint",
+    "dataset_cache_path",
     "default_cache_dir",
     "generate_paper_scale_dataset",
     "generate_small_dataset",

@@ -18,20 +18,30 @@ from repro.dataset.generator import (
     DepthPowerDataset,
     MmWaveDepthDatasetGenerator,
 )
+from repro.scenarios import get_scenario, scenario_fingerprint
 
 
 def save_dataset(dataset: DepthPowerDataset, path: str | os.PathLike) -> None:
-    """Persist a dataset to an ``.npz`` archive."""
+    """Persist a dataset to an ``.npz`` archive.
+
+    The archive is written to a temporary file and atomically renamed into
+    place, so concurrent sweep workers caching the same configuration never
+    observe a half-written archive.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
     np.savez_compressed(
-        path,
+        temporary,
         images=dataset.images,
         powers_dbm=dataset.powers_dbm,
         line_of_sight_blocked=dataset.line_of_sight_blocked,
         frame_interval_s=np.array(dataset.frame_interval_s),
         metadata=np.array(json.dumps(dataset.metadata)),
     )
+    os.replace(temporary, path)
 
 
 def load_dataset(path: str | os.PathLike) -> DepthPowerDataset:
@@ -55,7 +65,12 @@ def load_dataset(path: str | os.PathLike) -> DepthPowerDataset:
 
 
 def config_fingerprint(config: DatasetConfig) -> str:
-    """Stable hash of a dataset configuration, used as the cache key."""
+    """Stable hash of a dataset configuration, used as the cache key.
+
+    The scenario enters through its *content* hash, so a renamed but
+    physically identical scenario keeps its cache entries while any change to
+    a preset's physics invalidates them.
+    """
     payload = json.dumps(
         {
             "num_samples": config.num_samples,
@@ -66,6 +81,7 @@ def config_fingerprint(config: DatasetConfig) -> str:
             "mean_interarrival_s": config.mean_interarrival_s,
             "speed_range_mps": list(config.speed_range_mps),
             "seed": config.seed,
+            "scenario": scenario_fingerprint(get_scenario(config.scenario)),
         },
         sort_keys=True,
     )
@@ -80,14 +96,21 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-mmwave-sl"
 
 
+def dataset_cache_path(
+    config: DatasetConfig, cache_dir: str | os.PathLike | None = None
+) -> Path:
+    """Cache-archive path for ``config`` (exists() == the dataset is cached)."""
+    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return cache_root / f"dataset-{config_fingerprint(config)}.npz"
+
+
 def get_or_generate(
     config: DatasetConfig,
     cache_dir: str | os.PathLike | None = None,
     force_regenerate: bool = False,
 ) -> DepthPowerDataset:
     """Return a cached dataset for ``config``, generating and caching if needed."""
-    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    cache_path = cache_root / f"dataset-{config_fingerprint(config)}.npz"
+    cache_path = dataset_cache_path(config, cache_dir)
     if cache_path.exists() and not force_regenerate:
         return load_dataset(cache_path)
     dataset = MmWaveDepthDatasetGenerator(config).generate()

@@ -8,14 +8,14 @@ power model.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.mmwave.power import ReceivedPowerModel
-from repro.scene.actors import PedestrianTrafficConfig, generate_crossing_traffic
-from repro.scene.camera import DepthCameraIntrinsics
+from repro.scenarios import get_scenario
+from repro.scene.actors import generate_crossing_traffic
 from repro.scene.environment import DEFAULT_FRAME_INTERVAL_S, CorridorScene
 from repro.utils.seeding import SeedLike, spawn_generators
 
@@ -94,6 +94,13 @@ class DatasetConfig:
 
     The defaults reproduce the paper's dataset scale; tests and quick examples
     shrink ``num_samples`` and the image resolution.
+
+    ``scenario`` names a registered :class:`repro.scenarios.Scenario` that
+    supplies everything a plain :class:`DatasetConfig` cannot express (camera
+    optics, corridor geometry, link budget, crossing span).  The numeric
+    fields below remain authoritative for what they describe — an
+    :class:`~repro.experiments.common.ExperimentScale` composes them from the
+    scenario and the scale before they reach the generator.
     """
 
     num_samples: int = PAPER_NUM_SAMPLES
@@ -104,6 +111,7 @@ class DatasetConfig:
     mean_interarrival_s: float = 4.0
     speed_range_mps: tuple = (0.8, 1.5)
     seed: int = 0
+    scenario: str = "paper_baseline"
 
     def __post_init__(self):
         if self.num_samples <= 0:
@@ -125,9 +133,12 @@ class MmWaveDepthDatasetGenerator:
     """Generate a :class:`DepthPowerDataset` from the scene + power simulators.
 
     Args:
-        config: dataset scale and scene parameters.
-        power_model: received-power model; a seeded default is built when
-            omitted.
+        config: dataset scale and scene parameters; ``config.scenario`` names
+            the environment preset and is the *only* scenario input — keeping
+            it on the config guarantees the cache fingerprint and the
+            generated physics can never disagree.
+        power_model: received-power model; a seeded default using the
+            scenario's link budget is built when omitted.
     """
 
     def __init__(
@@ -136,35 +147,37 @@ class MmWaveDepthDatasetGenerator:
         power_model: Optional[ReceivedPowerModel] = None,
     ):
         self.config = config or DatasetConfig()
+        self.scenario = get_scenario(self.config.scenario)
         traffic_rng, power_rng = spawn_generators(self.config.seed, 2)
         self._traffic_rng = traffic_rng
         self.power_model = power_model or ReceivedPowerModel.with_default_randomness(
-            seed=power_rng
+            seed=power_rng, link_budget=self.scenario.link_budget
         )
 
     def build_scene(self) -> CorridorScene:
         """Construct the corridor scene with randomized crossing traffic."""
         config = self.config
+        scenario = self.scenario
         traffic = generate_crossing_traffic(
             duration_s=config.duration_s,
-            config=PedestrianTrafficConfig(
+            config=replace(
+                scenario.traffic,
                 mean_interarrival_s=config.mean_interarrival_s,
                 speed_range_mps=config.speed_range_mps,
-                crossing_x_range=(
-                    0.25 * config.link_distance_m,
-                    0.75 * config.link_distance_m,
-                ),
+                crossing_x_range=scenario.crossing_x_range(config.link_distance_m),
             ),
             seed=self._traffic_rng,
         )
-        intrinsics = DepthCameraIntrinsics(
-            width=config.image_width, height=config.image_height
+        intrinsics = scenario.camera.with_resolution(
+            config.image_width, config.image_height
         )
         return CorridorScene(
             link_distance_m=config.link_distance_m,
+            antenna_height_m=scenario.antenna_height_m,
             pedestrians=traffic,
             frame_interval_s=config.frame_interval_s,
             camera_intrinsics=intrinsics,
+            corridor_half_width_m=scenario.corridor_half_width_m,
         )
 
     def generate(self) -> DepthPowerDataset:
@@ -181,6 +194,8 @@ class MmWaveDepthDatasetGenerator:
             "frame_interval_s": config.frame_interval_s,
             "seed": float(config.seed),
             "blockage_fraction": float(blocked.mean()),
+            "scenario": self.scenario.name,
+            "scenario_hash": self.scenario.fingerprint,
         }
         return DepthPowerDataset(
             images=images,

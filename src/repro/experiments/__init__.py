@@ -14,7 +14,9 @@ from repro.experiments.ablations import (
 from repro.experiments.common import (
     ExperimentScale,
     generate_dataset,
+    load_or_generate_dataset,
     prepare_split,
+    scale_from_name,
     scheme_model_configs,
 )
 from repro.experiments.fig2_feature_maps import (
@@ -42,6 +44,7 @@ from repro.experiments.table1_privacy_success import (
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
     "BandwidthSweepRow",
     "BlockageComparisonResult",
     "ExperimentScale",
@@ -54,19 +57,25 @@ __all__ = [
     "RnnTypeRow",
     "SchemePrediction",
     "SequenceLengthRow",
+    "SweepConfig",
     "Table1Result",
     "Table1Row",
     "bandwidth_sweep",
     "blockage_model_comparison",
+    "format_summary",
     "generate_dataset",
+    "load_or_generate_dataset",
     "pooling_sweep",
     "prepare_split",
+    "register_experiment",
     "rnn_type_sweep",
+    "run_sweep",
     "run_fig2",
     "run_fig3a",
     "run_fig3b",
     "run_paper_success_probabilities",
     "run_table1",
+    "scale_from_name",
     "scheme_model_configs",
     "select_plot_window",
     "select_representative_frames",
@@ -74,4 +83,25 @@ __all__ = [
     "shannon_entropy_bits",
     "success_probability_for_pooling",
     "transition_mask_from_truth",
+    "write_artifact",
 ]
+
+# Sweep-orchestrator names are exported lazily (PEP 562) so that running the
+# CLI as ``python -m repro.experiments.sweep`` does not trip the runpy
+# "found in sys.modules" warning by importing the module during package init.
+_SWEEP_EXPORTS = (
+    "ARTIFACT_SCHEMA_VERSION",
+    "SweepConfig",
+    "format_summary",
+    "register_experiment",
+    "run_sweep",
+    "write_artifact",
+)
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        from repro.experiments import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,15 +8,24 @@ preserving the qualitative comparisons.
 """
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.dataset.cache import get_or_generate
 from repro.dataset.generator import DatasetConfig, DepthPowerDataset, MmWaveDepthDatasetGenerator
 from repro.dataset.sequences import SequenceDataset, build_sequences
 from repro.dataset.splits import TrainValidationSplit, temporal_split
+from repro.scenarios import Scenario, get_scenario
+from repro.scenarios import registry as _registry
 from repro.split.config import ModelConfig, TrainingConfig
+
+#: Mean pedestrian interarrival time of the paper's environment; the ratio of
+#: a scale's ``mean_interarrival_s`` to this value is the traffic densification
+#: factor applied to every scenario at that scale.
+PAPER_MEAN_INTERARRIVAL_S = 4.0
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,8 @@ class ExperimentScale:
             step size than the paper's 1e-3 so that the qualitative
             comparison emerges within their much smaller step budget.
         seed: base RNG seed.
+        scenario: name of the registered scenario providing the physical
+            environment (default: the paper's corridor).
     """
 
     num_samples: int = 13_228
@@ -57,6 +68,7 @@ class ExperimentScale:
     mean_interarrival_s: float = 4.0
     learning_rate: float = 1e-3
     seed: int = 0
+    scenario: str = "paper_baseline"
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
@@ -97,13 +109,55 @@ class ExperimentScale:
             learning_rate=0.01,
         )
 
+    def with_scenario(self, scenario: Union[Scenario, str]) -> "ExperimentScale":
+        """Copy of this scale bound to a different registered scenario.
+
+        Only the scenario *name* travels on the scale (names must survive
+        pickling into sweep workers and cache keys), so a bare
+        :class:`Scenario` instance is accepted only if it is registered.
+        """
+        scenario = get_scenario(scenario)
+        registered = _registry.all_scenarios().get(scenario.name)
+        if registered != scenario:
+            raise ValueError(
+                f"scenario {scenario.name!r} is not registered (or differs "
+                "from the registered one); call repro.scenarios.register() "
+                "before binding it to an ExperimentScale"
+            )
+        return replace(self, scenario=scenario.name)
+
+    def with_seed(self, seed: int) -> "ExperimentScale":
+        """Copy of this scale with a different base RNG seed."""
+        return replace(self, seed=int(seed))
+
+    @property
+    def traffic_density_scale(self) -> float:
+        """Interarrival multiplier this scale applies to scenario traffic.
+
+        The paper scale leaves traffic untouched (factor 1.0); the reduced
+        scales densify it so short datasets still contain blockage events.
+        """
+        return self.mean_interarrival_s / PAPER_MEAN_INTERARRIVAL_S
+
+    def resolve_scenario(self) -> Scenario:
+        """The :class:`Scenario` this scale is bound to."""
+        return get_scenario(self.scenario)
+
     def dataset_config(self) -> DatasetConfig:
+        """Compose the scenario's physics with this scale's size knobs."""
+        scenario = self.resolve_scenario()
         return DatasetConfig(
             num_samples=self.num_samples,
             image_height=self.image_size,
             image_width=self.image_size,
-            mean_interarrival_s=self.mean_interarrival_s,
+            frame_interval_s=scenario.frame_interval_s,
+            link_distance_m=scenario.link_distance_m,
+            mean_interarrival_s=scenario.traffic.with_interarrival_scale(
+                self.traffic_density_scale
+            ).mean_interarrival_s,
+            speed_range_mps=scenario.traffic.speed_range_mps,
             seed=self.seed,
+            scenario=scenario.name,
         )
 
     def base_model_config(self) -> ModelConfig:
@@ -135,9 +189,37 @@ class ExperimentScale:
         )
 
 
+def scale_from_name(name: str) -> ExperimentScale:
+    """Resolve ``"paper"`` / ``"fast"`` / ``"smoke"`` into an ExperimentScale."""
+    factories = {
+        "paper": ExperimentScale.paper,
+        "fast": ExperimentScale.fast,
+        "smoke": ExperimentScale.smoke,
+    }
+    try:
+        return factories[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; expected one of {sorted(factories)}"
+        ) from None
+
+
 def generate_dataset(scale: ExperimentScale) -> DepthPowerDataset:
-    """Generate (not cached) the dataset for a given scale."""
+    """Generate (not cached) the dataset for a given scale and its scenario."""
     return MmWaveDepthDatasetGenerator(scale.dataset_config()).generate()
+
+
+def load_or_generate_dataset(
+    scale: ExperimentScale,
+    cache_dir: str | os.PathLike | None = None,
+    force_regenerate: bool = False,
+) -> DepthPowerDataset:
+    """Dataset for ``scale`` through the content-addressed on-disk cache."""
+    return get_or_generate(
+        scale.dataset_config(),
+        cache_dir=cache_dir,
+        force_regenerate=force_regenerate,
+    )
 
 
 def prepare_split(

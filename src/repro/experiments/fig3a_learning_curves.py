@@ -96,7 +96,9 @@ def run_fig3a(
     training = scale.training_config()
     for name, model_config in configs.items():
         trainer = SplitTrainer(
-            ExperimentConfig(model=model_config, training=training)
+            ExperimentConfig.for_scenario(
+                scale.scenario, model=model_config, training=training
+            )
         )
         result.histories[name] = trainer.fit(split.train, split.validation)
     return result

@@ -150,7 +150,11 @@ def run_fig3b(
     )
     training = scale.training_config()
     for name, model_config in schemes.items():
-        trainer = SplitTrainer(ExperimentConfig(model=model_config, training=training))
+        trainer = SplitTrainer(
+            ExperimentConfig.for_scenario(
+                scale.scenario, model=model_config, training=training
+            )
+        )
         trainer.fit(split.train, split.validation)
         predictions = trainer.predict_dbm(window)
         overall = root_mean_squared_error(predictions, truth)

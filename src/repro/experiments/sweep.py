@@ -1,0 +1,532 @@
+"""Parallel multi-scenario / multi-seed sweep orchestrator.
+
+``run_sweep`` executes a {scenario x seed} grid of one experiment runner
+(``fig2`` / ``fig3a`` / ``fig3b`` / ``table1``), farming cells out to a
+``concurrent.futures`` process pool.  Datasets flow through the
+content-addressed on-disk cache (:mod:`repro.dataset.cache`), so repeated
+sweeps — and different experiments over the same {scenario, seed, scale} —
+skip generation entirely.  The result is an aggregated JSON artifact with
+per-cell metrics plus mean/std/min/max across seeds for every scenario.
+
+CLI::
+
+    python -m repro.experiments.sweep \
+        --scenarios paper_baseline dense_crowd --seeds 2 \
+        --experiment fig3b --scale fast --output sweep.json
+
+``--list-scenarios`` prints the registered catalog.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.cache import config_fingerprint, dataset_cache_path, get_or_generate
+from repro.dataset.generator import DepthPowerDataset
+from repro.experiments.common import ExperimentScale, prepare_split, scale_from_name
+from repro.experiments.fig2_feature_maps import run_fig2
+from repro.experiments.fig3a_learning_curves import run_fig3a
+from repro.experiments.fig3b_power_prediction import run_fig3b
+from repro.experiments.table1_privacy_success import run_table1
+from repro.scenarios import get_scenario, scenario_names
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.sweep")
+
+#: Version of the artifact JSON layout.
+ARTIFACT_SCHEMA_VERSION = 1
+
+MetricFn = Callable[[ExperimentScale, DepthPowerDataset], Dict[str, float]]
+
+
+# -- experiment metric extractors ---------------------------------------------------
+
+
+def _metrics_fig2(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
+    result = run_fig2(scale, dataset=dataset)
+    metrics: Dict[str, float] = {}
+    for pooling, item in result.per_pooling.items():
+        prefix = f"pool_{pooling}x{pooling}"
+        metrics[f"{prefix}/values_per_image"] = float(item.values_per_image)
+        metrics[f"{prefix}/mean_spatial_variance"] = float(item.mean_spatial_variance)
+        metrics[f"{prefix}/mean_entropy_bits"] = float(item.mean_entropy_bits)
+    return metrics
+
+
+def _metrics_fig3a(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
+    split = prepare_split(scale, dataset)
+    result = run_fig3a(scale, split=split)
+    metrics: Dict[str, float] = {}
+    for name, history in result.histories.items():
+        metrics[f"{name}/final_rmse_db"] = float(history.final_rmse_db)
+        metrics[f"{name}/best_rmse_db"] = float(history.best_rmse_db)
+        metrics[f"{name}/elapsed_s"] = float(history.total_elapsed_s)
+        metrics[f"{name}/epochs"] = float(len(history.records))
+    return metrics
+
+
+def _metrics_fig3b(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
+    result = run_fig3b(scale, dataset=dataset)
+    metrics: Dict[str, float] = {}
+    for name, prediction in result.predictions.items():
+        metrics[f"{name}/rmse_db"] = float(prediction.rmse_db)
+        metrics[f"{name}/transition_rmse_db"] = float(prediction.transition_rmse_db)
+    return metrics
+
+
+def _metrics_table1(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
+    result = run_table1(scale, dataset=dataset)
+    metrics: Dict[str, float] = {}
+    for pooling, row in result.rows.items():
+        prefix = f"pool_{pooling}x{pooling}"
+        metrics[f"{prefix}/privacy_leakage"] = float(row.privacy_leakage)
+        metrics[f"{prefix}/success_probability"] = float(row.success_probability)
+    return metrics
+
+
+EXPERIMENTS: Dict[str, MetricFn] = {
+    "fig2": _metrics_fig2,
+    "fig3a": _metrics_fig3a,
+    "fig3b": _metrics_fig3b,
+    "table1": _metrics_table1,
+}
+
+#: Names registered (or overridden) at runtime.  These only reach pool
+#: workers under the fork start method — spawned workers re-import this
+#: module and would silently fall back to the stock table above — so
+#: :func:`run_sweep` executes them serially on spawn-only platforms.
+_RUNTIME_EXPERIMENTS: set = set()
+
+
+def register_experiment(name: str, runner: MetricFn, overwrite: bool = False) -> None:
+    """Register a custom sweep experiment: ``runner(scale, dataset) -> metrics``.
+
+    Custom experiments run in the process pool only where the ``fork`` start
+    method is available (workers inherit the registry); on spawn-only
+    platforms :func:`run_sweep` executes them serially.
+    """
+    if name in EXPERIMENTS and not overwrite:
+        raise ValueError(f"experiment {name!r} is already registered")
+    EXPERIMENTS[name] = runner
+    _RUNTIME_EXPERIMENTS.add(name)
+
+
+# -- sweep configuration ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep: a {scenario x seed} grid of a single experiment.
+
+    Attributes:
+        scenarios: registered scenario names (or instances) forming the grid
+            rows; normalized to names at construction.
+        seeds: base RNG seeds forming the grid columns.
+        experiment: experiment key (``fig2`` / ``fig3a`` / ``fig3b`` /
+            ``table1`` or anything added via :func:`register_experiment`).
+        scale: experiment scale name (``paper`` / ``fast`` / ``smoke``).
+        parallel: run cells in a process pool (serial when False).
+        max_workers: process-pool size (default: ``min(cells, max(CPUs, 2))``
+            — at least two workers so parallelism is exercised even on
+            single-CPU hosts).
+        cache_dir: dataset cache directory (default: the library cache).
+        output_path: artifact JSON destination (``None`` = do not write).
+        force_regenerate: bypass the dataset cache.
+    """
+
+    scenarios: tuple
+    seeds: tuple
+    experiment: str = "fig3b"
+    scale: str = "fast"
+    parallel: bool = True
+    max_workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    output_path: Optional[str] = None
+    force_regenerate: bool = False
+
+    def __post_init__(self):
+        if not tuple(self.scenarios):
+            raise ValueError("at least one scenario is required")
+        # Normalize instances to names right away (names are what pickles
+        # into workers and cache keys).  Unknown names raise KeyError here;
+        # an unregistered bare instance would dangle, so reject it too.
+        from repro.scenarios import all_scenarios
+
+        names = []
+        for entry in self.scenarios:
+            scenario = get_scenario(entry)
+            if all_scenarios().get(scenario.name) != scenario:
+                raise ValueError(
+                    f"scenario {scenario.name!r} is not registered; call "
+                    "repro.scenarios.register() before sweeping it"
+                )
+            names.append(scenario.name)
+        object.__setattr__(self, "scenarios", tuple(names))
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ValueError("duplicate scenario names in sweep")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("duplicate seeds in sweep")
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; "
+                f"registered: {sorted(EXPERIMENTS)}"
+            )
+        scale_from_name(self.scale)  # validates the name
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.scenarios) * len(self.seeds)
+
+
+@dataclass(frozen=True)
+class _CellSpec:
+    """Picklable description of one grid cell, shipped to pool workers.
+
+    The full :class:`Scenario` object travels in the spec (not just its name)
+    so that custom registered scenarios survive spawn-style pool workers,
+    whose fresh interpreters only know the built-in presets.
+    """
+
+    scenario: object  # Scenario (typed loosely to keep the spec picklable docs-simple)
+    seed: int
+    experiment: str
+    scale: str
+    cache_dir: Optional[str]
+    force_regenerate: bool
+
+
+def _execute_cell(spec: _CellSpec) -> Dict[str, object]:
+    """Run one {scenario, seed} cell: cached dataset -> experiment -> metrics."""
+    from repro.scenarios import register
+
+    register(spec.scenario, overwrite=True)  # no-op under fork, restores under spawn
+    scale = (
+        scale_from_name(spec.scale)
+        .with_scenario(spec.scenario)
+        .with_seed(spec.seed)
+    )
+    config = scale.dataset_config()
+    cache_hit = (
+        not spec.force_regenerate
+        and dataset_cache_path(config, spec.cache_dir).exists()
+    )
+    dataset_start = time.perf_counter()
+    dataset = get_or_generate(
+        config, cache_dir=spec.cache_dir, force_regenerate=spec.force_regenerate
+    )
+    dataset_seconds = time.perf_counter() - dataset_start
+    experiment_start = time.perf_counter()
+    metrics = EXPERIMENTS[spec.experiment](scale, dataset)
+    experiment_seconds = time.perf_counter() - experiment_start
+    return {
+        "scenario": spec.scenario.name,
+        "seed": spec.seed,
+        "dataset_fingerprint": config_fingerprint(config),
+        "dataset_cache_hit": bool(cache_hit),
+        "dataset_seconds": round(dataset_seconds, 4),
+        "experiment_seconds": round(experiment_seconds, 4),
+        "metrics": {key: float(value) for key, value in sorted(metrics.items())},
+    }
+
+
+def _pool_context():
+    """Prefer fork (inherits sys.path set by test conftests) where available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _aggregate_cells(cells: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Mean/std/min/max of every metric across one scenario's seeds."""
+    keys: List[str] = sorted({key for cell in cells for key in cell["metrics"]})
+    aggregate: Dict[str, Dict[str, float]] = {}
+    for key in keys:
+        values = np.array(
+            [cell["metrics"][key] for cell in cells if key in cell["metrics"]],
+            dtype=np.float64,
+        )
+        aggregate[key] = {
+            "mean": float(values.mean()),
+            "std": float(values.std()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "num_seeds": int(values.size),
+        }
+    return aggregate
+
+
+def run_sweep(config: SweepConfig) -> Dict[str, object]:
+    """Execute the sweep grid and return (and optionally write) the artifact."""
+    scenarios = [get_scenario(name) for name in config.scenarios]
+    specs = [
+        _CellSpec(
+            scenario=scenario,
+            seed=seed,
+            experiment=config.experiment,
+            scale=config.scale,
+            cache_dir=config.cache_dir,
+            force_regenerate=config.force_regenerate,
+        )
+        for scenario in scenarios
+        for seed in config.seeds
+    ]
+
+    # Cells whose dataset fingerprints coincide (physically identical
+    # scenarios at the same seed) would race to generate the same dataset in
+    # parallel; run each unique cell once and fan the result back out.
+    unique_index: Dict[str, int] = {}
+    assignment: List[int] = []
+    unique_specs: List[_CellSpec] = []
+    for spec in specs:
+        cell_scale = (
+            scale_from_name(spec.scale)
+            .with_scenario(spec.scenario)
+            .with_seed(spec.seed)
+        )
+        fingerprint = config_fingerprint(cell_scale.dataset_config())
+        if fingerprint not in unique_index:
+            unique_index[fingerprint] = len(unique_specs)
+            unique_specs.append(spec)
+        assignment.append(unique_index[fingerprint])
+    if len(unique_specs) < len(specs):
+        logger.info(
+            "%d of %d cells share physics with another cell; running %d",
+            len(specs) - len(unique_specs),
+            len(specs),
+            len(unique_specs),
+        )
+
+    # At least two workers whenever parallelism is requested: even on a
+    # single-CPU host the cells interleave (dataset generation releases the
+    # GIL-free process boundary) and the orchestration path stays exercised.
+    default_workers = max(os.cpu_count() or 1, 2)
+    workers = min(config.max_workers or default_workers, len(unique_specs))
+    use_pool = config.parallel and workers > 1 and len(unique_specs) > 1
+    context = _pool_context()
+    if (
+        use_pool
+        and config.experiment in _RUNTIME_EXPERIMENTS
+        and context.get_start_method() != "fork"
+    ):
+        # Spawned workers re-import this module and would not see a
+        # runtime-registered (or runtime-overridden) experiment function.
+        logger.warning(
+            "runtime-registered experiment %r cannot cross spawn-style pool "
+            "workers; running serially",
+            config.experiment,
+        )
+        use_pool = False
+    start = time.perf_counter()
+    if use_pool:
+        logger.info(
+            "running %d sweep cells on %d workers", len(unique_specs), workers
+        )
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            unique_cells = list(pool.map(_execute_cell, unique_specs))
+    else:
+        logger.info("running %d sweep cells serially", len(unique_specs))
+        unique_cells = [_execute_cell(spec) for spec in unique_specs]
+    wall_clock_s = time.perf_counter() - start
+
+    cells = []
+    for spec, index in zip(specs, assignment):
+        cell = dict(unique_cells[index])
+        executed_as = cell["scenario"]
+        cell["scenario"] = spec.scenario.name
+        if spec.scenario.name != executed_as:
+            # This cell never executed: its metrics were copied from the
+            # physically identical cell that did.  Zero the execution
+            # metadata so timing/cache accounting stays honest.
+            cell["deduplicated_from"] = executed_as
+            cell["dataset_cache_hit"] = True
+            cell["dataset_seconds"] = 0.0
+            cell["experiment_seconds"] = 0.0
+        cells.append(cell)
+
+    by_scenario: Dict[str, List[Dict[str, object]]] = {
+        scenario.name: [] for scenario in scenarios
+    }
+    for cell in cells:
+        by_scenario[cell["scenario"]].append(cell)
+
+    artifact: Dict[str, object] = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "experiment": config.experiment,
+        "scale": config.scale,
+        "seeds": list(config.seeds),
+        "parallel": bool(use_pool),
+        "max_workers": workers if use_pool else 1,
+        "num_cells": len(cells),
+        "wall_clock_s": round(wall_clock_s, 4),
+        "scenarios": {
+            scenario.name: {
+                "scenario_hash": scenario.fingerprint,
+                "description": scenario.description,
+                "cells": sorted(
+                    by_scenario[scenario.name], key=lambda cell: cell["seed"]
+                ),
+                "aggregate": _aggregate_cells(by_scenario[scenario.name]),
+            }
+            for scenario in scenarios
+        },
+    }
+    if config.output_path is not None:
+        write_artifact(artifact, config.output_path)
+    return artifact
+
+
+def write_artifact(artifact: Dict[str, object], path: str | os.PathLike) -> Path:
+    """Write the artifact JSON atomically and return the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    os.replace(temporary, path)
+    return path
+
+
+def format_summary(artifact: Dict[str, object]) -> str:
+    """Human-readable per-scenario mean +/- std table of the artifact."""
+    lines = [
+        f"sweep: experiment={artifact['experiment']} scale={artifact['scale']} "
+        f"seeds={artifact['seeds']} cells={artifact['num_cells']} "
+        f"wall-clock={artifact['wall_clock_s']:.1f}s "
+        f"({'parallel x' + str(artifact['max_workers']) if artifact['parallel'] else 'serial'})"
+    ]
+    for name, entry in artifact["scenarios"].items():
+        hits = sum(1 for cell in entry["cells"] if cell["dataset_cache_hit"])
+        lines.append(
+            f"  {name} [{entry['scenario_hash']}] "
+            f"(dataset cache hits {hits}/{len(entry['cells'])})"
+        )
+        for key, stats in entry["aggregate"].items():
+            lines.append(
+                f"    {key:<40s} {stats['mean']:>10.4f} +/- {stats['std']:.4f}"
+            )
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run a {scenario x seed} sweep of one paper experiment.",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        help="registered scenario names (see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of seeds per scenario, enumerated 0..N-1 (default: 2)",
+    )
+    parser.add_argument(
+        "--seed-list",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="explicit seeds (overrides --seeds)",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="fig3b",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to run per cell (default: fig3b)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="fast",
+        choices=("paper", "fast", "smoke"),
+        help="experiment scale (default: fast)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="artifact JSON path (default: sweep-<experiment>-<scale>.json)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size (default: min(cells, max(CPUs, 2)))",
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="disable the process pool"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="dataset cache directory (default: library cache / REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--force-regenerate",
+        action="store_true",
+        help="ignore cached datasets and regenerate",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(get_scenario(name).describe())
+        return 0
+    if not args.scenarios:
+        build_parser().error("--scenarios is required (or use --list-scenarios)")
+    seeds = tuple(args.seed_list) if args.seed_list else tuple(range(args.seeds))
+    output = args.output or f"sweep-{args.experiment}-{args.scale}.json"
+    config = SweepConfig(
+        scenarios=tuple(args.scenarios),
+        seeds=seeds,
+        experiment=args.experiment,
+        scale=args.scale,
+        parallel=not args.serial,
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        output_path=output,
+        force_regenerate=args.force_regenerate,
+    )
+    artifact = run_sweep(config)
+    try:
+        print(format_summary(artifact))
+        print(f"artifact written to {output}")
+    except BrokenPipeError:  # e.g. `... | head`; the artifact is on disk
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,7 +125,7 @@ def run_table1(
     dataset: Optional[DepthPowerDataset] = None,
     poolings: Optional[tuple] = None,
     batch_size: int = 64,
-    channel: WirelessChannelParams = PAPER_CHANNEL_PARAMS,
+    channel: Optional[WirelessChannelParams] = None,
     num_leakage_images: int = 120,
 ) -> Table1Result:
     """Regenerate Table 1 at the requested scale.
@@ -134,8 +134,12 @@ def run_table1(
     is a property of the channel and payload model, independent of the
     synthetic dataset); the privacy leakage is computed on images generated at
     ``scale`` and pooled by each candidate region that divides the image size.
+    The channel defaults to the scale's scenario channel (the paper's
+    parameters for ``paper_baseline``).
     """
     scale = scale or ExperimentScale.fast()
+    if channel is None:
+        channel = scale.resolve_scenario().channel
     dataset = dataset if dataset is not None else generate_dataset(scale)
     poolings = poolings or scale.valid_poolings()
 

@@ -1,0 +1,142 @@
+"""Scenario definitions: frozen, named presets of the simulated environment.
+
+A :class:`Scenario` bundles everything that describes the *physical world* of
+one experiment — corridor geometry, pedestrian traffic statistics, depth-camera
+optics, the monitored 60 GHz link budget and the split-learning channel — while
+deliberately excluding the *scale* knobs (number of samples, image resolution,
+seed) that belong to :class:`repro.experiments.common.ExperimentScale`.  The
+two compose: a scenario defines paper-scale physics, the experiment scale
+shrinks or grows the workload run inside it.
+
+Scenarios are content-addressed: :func:`scenario_fingerprint` hashes every
+physical parameter (but not the name or description), so dataset caches and
+sweep artifacts can detect when two differently-named scenarios are physically
+identical and when a preset silently changed.
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.channel.params import PAPER_CHANNEL_PARAMS, WirelessChannelParams
+from repro.mmwave.propagation import LinkBudget
+from repro.scene.actors import PedestrianTrafficConfig
+from repro.scene.camera import DepthCameraIntrinsics
+from repro.scene.environment import DEFAULT_FRAME_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, frozen description of one simulated environment.
+
+    Attributes:
+        name: registry key; a short, stable, snake_case identifier.
+        description: one-line human-readable summary (not hashed).
+        traffic: pedestrian traffic statistics *at paper scale*; the
+            experiment scale may densify the interarrival time, and the
+            ``crossing_x_range`` entry is ignored in favour of
+            ``crossing_fraction_range`` scaled by the link distance.
+        camera: depth-camera optics; ``width``/``height`` act only as the
+            paper-scale default resolution and are overridden by the dataset
+            configuration.
+        link_budget: static link budget of the monitored 60 GHz data link.
+        channel: parameters of the split-learning link that carries the
+            cut-layer traffic (uplink activations / downlink gradients).
+        link_distance_m: UE-BS distance of the monitored link.
+        antenna_height_m: height of both antennas above the floor.
+        corridor_half_width_m: lateral distance from the link to the walls.
+        crossing_fraction_range: (min, max) fractions of the link distance
+            between which pedestrians cross the line of sight.
+        frame_interval_s: depth-camera frame interval.
+    """
+
+    name: str
+    description: str = ""
+    traffic: PedestrianTrafficConfig = field(default_factory=PedestrianTrafficConfig)
+    camera: DepthCameraIntrinsics = field(default_factory=DepthCameraIntrinsics)
+    link_budget: LinkBudget = field(default_factory=LinkBudget)
+    channel: WirelessChannelParams = field(default_factory=lambda: PAPER_CHANNEL_PARAMS)
+    link_distance_m: float = 4.0
+    antenna_height_m: float = 1.0
+    corridor_half_width_m: float = 2.5
+    crossing_fraction_range: tuple = (0.25, 0.75)
+    frame_interval_s: float = DEFAULT_FRAME_INTERVAL_S
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(
+                "scenario name must be a non-empty snake_case identifier, "
+                f"got {self.name!r}"
+            )
+        if self.link_distance_m <= 0:
+            raise ValueError("link_distance_m must be positive")
+        if self.antenna_height_m <= 0:
+            raise ValueError("antenna_height_m must be positive")
+        if self.corridor_half_width_m <= 0:
+            raise ValueError("corridor_half_width_m must be positive")
+        if self.frame_interval_s <= 0:
+            raise ValueError("frame_interval_s must be positive")
+        low, high = self.crossing_fraction_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(
+                "crossing_fraction_range must be ordered fractions in [0, 1]"
+            )
+        # Pedestrians walk from -traffic.corridor_half_width_m to +same; that
+        # span must stay inside the walls or crossings would clip through them.
+        if self.traffic.corridor_half_width_m > self.corridor_half_width_m:
+            raise ValueError(
+                "traffic.corridor_half_width_m (pedestrian walk span, "
+                f"{self.traffic.corridor_half_width_m}) must not exceed "
+                f"corridor_half_width_m (wall distance, "
+                f"{self.corridor_half_width_m}); set both when narrowing "
+                "the corridor"
+            )
+
+    def crossing_x_range(self, link_distance_m: float | None = None) -> tuple:
+        """Absolute x range of crossing positions for a given link distance."""
+        distance = self.link_distance_m if link_distance_m is None else link_distance_m
+        low, high = self.crossing_fraction_range
+        return (low * distance, high * distance)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the physical parameters (see module docstring)."""
+        return scenario_fingerprint(self)
+
+    def describe(self) -> str:
+        """One-line catalog entry."""
+        return (
+            f"{self.name} [{self.fingerprint}]: {self.description} "
+            f"(link {self.link_distance_m:g} m, "
+            f"interarrival {self.traffic.mean_interarrival_s:g} s, "
+            f"speeds {self.traffic.speed_range_mps[0]:g}-"
+            f"{self.traffic.speed_range_mps[1]:g} m/s, "
+            f"FoV {self.camera.horizontal_fov_deg:g} deg)"
+        )
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Stable content hash of a scenario's physical parameters.
+
+    The name and description are excluded so the hash identifies the *physics*:
+    two scenarios with identical parameters share dataset cache entries, and a
+    renamed preset keeps its cached datasets.
+    """
+    payload = dataclasses.asdict(scenario)
+    payload.pop("name")
+    payload.pop("description")
+    # The pipeline derives crossing positions from crossing_fraction_range and
+    # ignores the traffic config's absolute range entirely, so hashing it
+    # would make physically identical scenarios look different.
+    payload["traffic"].pop("crossing_x_range")
+    encoded = json.dumps(payload, sort_keys=True, default=_json_fallback)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:16]
+
+
+def _json_fallback(value):
+    """Serialize the odd non-JSON leaf (e.g. numpy scalars)."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"cannot fingerprint value of type {type(value)!r}")

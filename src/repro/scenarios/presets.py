@@ -1,0 +1,96 @@
+"""Built-in scenario presets.
+
+``paper_baseline`` reproduces the measurement environment of the paper exactly
+(it is byte-identical to the pre-scenario defaults of the dataset generator);
+the other presets stress one axis each: traffic density, walking speed,
+corridor geometry and camera optics.  All presets are defined at paper scale —
+:class:`repro.experiments.common.ExperimentScale` densifies traffic for the
+reduced test scales.
+"""
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.channel.params import PAPER_CHANNEL_PARAMS
+from repro.scene.actors import PedestrianTrafficConfig
+from repro.scene.camera import DepthCameraIntrinsics
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import register
+
+PAPER_BASELINE = register(
+    Scenario(
+        name="paper_baseline",
+        description=(
+            "The paper's corridor: 4 m link, Poisson crossings every ~4 s "
+            "at walking speed, Kinect-like 57 deg camera."
+        ),
+    )
+)
+
+DENSE_CROWD = register(
+    Scenario(
+        name="dense_crowd",
+        description=(
+            "Rush-hour corridor: crossings every ~1.5 s over a wider span "
+            "of the link, frequent overlapping blockers."
+        ),
+        traffic=PedestrianTrafficConfig(mean_interarrival_s=1.5),
+        crossing_fraction_range=(0.15, 0.85),
+    )
+)
+
+SPARSE_TRAFFIC = register(
+    Scenario(
+        name="sparse_traffic",
+        description=(
+            "Quiet corridor: crossings every ~9 s, long uninterrupted "
+            "line-of-sight stretches between blockage events."
+        ),
+        traffic=PedestrianTrafficConfig(mean_interarrival_s=9.0),
+    )
+)
+
+FAST_WALKERS = register(
+    Scenario(
+        name="fast_walkers",
+        description=(
+            "Hurried pedestrians at 1.8-2.8 m/s: blockage events are shorter "
+            "and power transitions sharper."
+        ),
+        traffic=PedestrianTrafficConfig(speed_range_mps=(1.8, 2.8)),
+    )
+)
+
+LONG_CORRIDOR = register(
+    Scenario(
+        name="long_corridor",
+        description=(
+            "8 m link in a longer corridor: weaker line-of-sight power, "
+            "larger blocker span and a lower-SNR split-learning channel."
+        ),
+        link_distance_m=8.0,
+        camera=DepthCameraIntrinsics(max_range_m=12.0),
+        channel=replace(PAPER_CHANNEL_PARAMS, distance_m=8.0),
+    )
+)
+
+WIDE_FOV_CAMERA = register(
+    Scenario(
+        name="wide_fov_camera",
+        description=(
+            "90 deg wide-angle depth camera: pedestrians enter the frame "
+            "earlier, giving the image branch a longer look-ahead."
+        ),
+        camera=DepthCameraIntrinsics(horizontal_fov_deg=90.0),
+    )
+)
+
+#: All built-in presets in catalog order.
+DEFAULT_SCENARIOS = (
+    PAPER_BASELINE,
+    DENSE_CROWD,
+    SPARSE_TRAFFIC,
+    FAST_WALKERS,
+    LONG_CORRIDOR,
+    WIDE_FOV_CAMERA,
+)

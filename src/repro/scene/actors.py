@@ -185,6 +185,20 @@ class PedestrianTrafficConfig:
         if self.corridor_half_width_m <= 0:
             raise ValueError("corridor_half_width_m must be positive")
 
+    def with_interarrival_scale(self, factor: float) -> "PedestrianTrafficConfig":
+        """Copy with the mean interarrival time multiplied by ``factor``.
+
+        Factors below one densify the traffic; reduced experiment scales use
+        this so short datasets still contain enough blockage events.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        from dataclasses import replace
+
+        return replace(
+            self, mean_interarrival_s=self.mean_interarrival_s * factor
+        )
+
 
 def generate_crossing_traffic(
     duration_s: float,

@@ -48,6 +48,12 @@ class DepthCameraIntrinsics:
         half_vertical = np.arctan(np.tan(half_horizontal) * self.height / self.width)
         return float(np.degrees(2.0 * half_vertical))
 
+    def with_resolution(self, width: int, height: int) -> "DepthCameraIntrinsics":
+        """Copy with a different pixel resolution, keeping the optics."""
+        from dataclasses import replace
+
+        return replace(self, width=int(width), height=int(height))
+
 
 class DepthCamera:
     """A pinhole depth camera rendering axis-aligned boxes.

@@ -194,6 +194,26 @@ class ExperimentConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     channel: WirelessChannelParams = PAPER_CHANNEL_PARAMS
 
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario,
+        model: ModelConfig | None = None,
+        training: TrainingConfig | None = None,
+    ) -> "ExperimentConfig":
+        """Configuration whose SL channel comes from a registered scenario.
+
+        ``scenario`` is a name or :class:`repro.scenarios.Scenario`; the
+        paper-baseline scenario yields :data:`PAPER_CHANNEL_PARAMS`.
+        """
+        from repro.scenarios import get_scenario
+
+        return cls(
+            model=model if model is not None else ModelConfig(),
+            training=training if training is not None else TrainingConfig(),
+            channel=get_scenario(scenario).channel,
+        )
+
     def describe(self) -> str:
         return self.model.describe()
 

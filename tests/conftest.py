@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.dataset import build_sequences, generate_small_dataset, temporal_split
+from repro.experiments import ExperimentScale, generate_dataset, prepare_split
 from repro.split import ExperimentConfig, ModelConfig, TrainingConfig
 
 from tests.gradcheck import (
@@ -49,6 +50,40 @@ def small_dataset():
     return generate_small_dataset(
         num_samples=260, image_size=12, seed=11, mean_interarrival_s=2.0
     )
+
+
+@pytest.fixture(scope="session")
+def smoke_scale() -> ExperimentScale:
+    return ExperimentScale.smoke()
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset(smoke_scale):
+    """The smoke-scale experiment dataset, generated once per session."""
+    return generate_dataset(smoke_scale)
+
+
+@pytest.fixture(scope="session")
+def smoke_split(smoke_scale, smoke_dataset):
+    return prepare_split(smoke_scale, smoke_dataset)
+
+
+@pytest.fixture(scope="session")
+def fast_scale() -> ExperimentScale:
+    return ExperimentScale.fast()
+
+
+@pytest.fixture(scope="session")
+def fast_dataset(fast_scale):
+    """The fast-scale experiment dataset, generated once per session."""
+    return generate_dataset(fast_scale)
+
+
+@pytest.fixture(scope="session")
+def sweep_cache_dir(tmp_path_factory):
+    """One dataset-cache directory shared by every sweep test in the session,
+    so each {scenario, seed, scale} dataset is generated at most once."""
+    return tmp_path_factory.mktemp("sweep-dataset-cache")
 
 
 @pytest.fixture(scope="session")

@@ -15,22 +15,8 @@ from repro.experiments import (
     shannon_entropy_bits,
     transition_mask_from_truth,
 )
-from repro.experiments.common import generate_dataset, prepare_split
-
-
-@pytest.fixture(scope="module")
-def smoke_scale():
-    return ExperimentScale.smoke()
-
-
-@pytest.fixture(scope="module")
-def smoke_dataset(smoke_scale):
-    return generate_dataset(smoke_scale)
-
-
-@pytest.fixture(scope="module")
-def smoke_split(smoke_scale, smoke_dataset):
-    return prepare_split(smoke_scale, smoke_dataset)
+# The smoke_scale / smoke_dataset / smoke_split fixtures are session-scoped
+# (tests/conftest.py) so the dataset is generated once for the whole suite.
 
 
 def test_experiment_scales():

@@ -1,0 +1,116 @@
+"""Round-trip serialization of the vectorized Conv2D / recurrent layers.
+
+The PR-1 vectorization added transient work buffers to the hot layers: the
+cached im2col column buffer on :class:`Conv2D` (``cache_patches=True``) and
+the preallocated state/gate caches on the recurrent cells.  These tests pin
+the contract that saved state contains *only* trainable parameters — never
+the transient caches — and that a freshly constructed layer loaded from disk
+reproduces the original outputs exactly.
+"""
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    Conv2D,
+    Dense,
+    SimpleRNN,
+    load_parameters,
+    parameters_allclose,
+    save_parameters,
+)
+
+
+@pytest.fixture()
+def conv_inputs(rng):
+    return rng.normal(size=(3, 2, 10, 10))
+
+
+@pytest.fixture()
+def sequence_inputs(rng):
+    return rng.normal(size=(4, 6, 5))
+
+
+def saved_keys(path):
+    with np.load(path) as archive:
+        return set(archive.files)
+
+
+def test_conv2d_state_excludes_im2col_buffer(tmp_path, conv_inputs):
+    layer = Conv2D(2, 4, kernel_size=3, padding="same", cache_patches=True, seed=0)
+    layer.forward(conv_inputs)
+    assert layer._cols is not None, "forward must populate the column cache"
+
+    expected_keys = {"weight", "bias"}
+    assert set(layer.state_dict()) == expected_keys
+
+    path = tmp_path / "conv.npz"
+    save_parameters(layer, path)
+    assert saved_keys(path) == expected_keys
+
+    clone = Conv2D(2, 4, kernel_size=3, padding="same", cache_patches=True, seed=99)
+    assert not parameters_allclose(layer, clone)
+    load_parameters(clone, path)
+    assert parameters_allclose(layer, clone)
+    assert clone._cols is None, "loading parameters must not create caches"
+    assert np.allclose(layer.forward(conv_inputs), clone.forward(conv_inputs))
+
+
+def test_conv2d_state_dict_copies_are_independent(conv_inputs):
+    layer = Conv2D(2, 4, kernel_size=3, seed=0)
+    layer.forward(conv_inputs)
+    state = layer.state_dict()
+    state["weight"][:] = 0.0
+    assert not np.allclose(layer.weight.value, 0.0)
+
+
+@pytest.mark.parametrize("layer_cls", [SimpleRNN, GRU, LSTM])
+def test_recurrent_state_excludes_step_caches(tmp_path, layer_cls, sequence_inputs):
+    layer = layer_cls(5, 7, seed=1)
+    layer.forward(sequence_inputs)
+    assert layer._cache is not None, "forward must populate the step cache"
+
+    state = layer.state_dict()
+    for key, value in state.items():
+        # Parameters only: no (T + 1, batch, H) state buffers may leak in.
+        assert value.ndim <= 2, f"{key} looks like a cached state buffer"
+
+    path = tmp_path / "recurrent.npz"
+    save_parameters(layer, path)
+    assert saved_keys(path) == set(state)
+
+    clone = layer_cls(5, 7, seed=42)
+    load_parameters(clone, path)
+    assert parameters_allclose(layer, clone)
+    assert clone._cache is None, "loading parameters must not create caches"
+    assert np.allclose(layer.forward(sequence_inputs), clone.forward(sequence_inputs))
+
+
+def test_roundtrip_after_backward_pass(tmp_path, rng, conv_inputs):
+    """Gradients accumulated on the source layer must not leak into the clone."""
+    layer = Conv2D(2, 3, kernel_size=3, seed=5)
+    outputs = layer.forward(conv_inputs)
+    layer.backward(rng.normal(size=outputs.shape))
+    assert any(np.abs(p.grad).sum() > 0 for p in layer.parameters())
+
+    path = tmp_path / "trained-conv.npz"
+    save_parameters(layer, path)
+    clone = Conv2D(2, 3, kernel_size=3, seed=6)
+    load_parameters(clone, path)
+    assert parameters_allclose(layer, clone)
+    for parameter in clone.parameters():
+        assert np.allclose(parameter.grad, 0.0), "gradients must not be serialized"
+
+
+def test_dense_and_recurrent_stack_roundtrip(tmp_path, rng, sequence_inputs):
+    from repro.nn import Sequential
+
+    model = Sequential([LSTM(5, 7, seed=2), Dense(7, 1, seed=3)])
+    model.forward(sequence_inputs)
+    path = tmp_path / "stack.npz"
+    save_parameters(model, path)
+
+    clone = Sequential([LSTM(5, 7, seed=8), Dense(7, 1, seed=9)])
+    load_parameters(clone, path)
+    assert np.allclose(model.forward(sequence_inputs), clone.forward(sequence_inputs))

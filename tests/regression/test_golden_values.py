@@ -1,0 +1,155 @@
+"""Golden-value regression tests pinning the simulator's numerical outputs.
+
+These constants were produced by the implementation at the time this test was
+written and are trusted as the reference physics.  They exist so that
+refactors of :mod:`repro.mmwave`, :mod:`repro.scene` and
+:mod:`repro.dataset` cannot *silently* shift the simulated measurements: any
+intentional physics change must update the constants here, in a commit that
+says so.
+
+Closed-form quantities are pinned tightly (1e-9); RNG-backed traces are pinned
+at 1e-7, which numpy's stream-stability guarantees comfortably satisfy while
+absorbing last-ulp differences across BLAS builds.
+"""
+import numpy as np
+import pytest
+
+from repro.dataset.generator import generate_small_dataset
+from repro.mmwave.propagation import (
+    LinkBudget,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    oxygen_absorption_db,
+)
+from repro.mmwave.power import ReceivedPowerModel
+from repro.scene.actors import periodic_crossing_traffic
+from repro.scene.environment import CorridorScene
+
+CLOSED_FORM = pytest.approx
+RNG_TOL = dict(rel=1e-7, abs=1e-7)
+
+
+# -- mmwave/propagation.py ----------------------------------------------------------
+
+
+def test_free_space_path_loss_golden():
+    assert float(free_space_path_loss_db(4.0, 60.48e9)) == CLOSED_FORM(
+        80.12121869830563, rel=1e-9
+    )
+    assert float(free_space_path_loss_db(1.0, 60.48e9)) == CLOSED_FORM(
+        68.08001887174638, rel=1e-9
+    )
+
+
+def test_log_distance_path_loss_golden():
+    assert float(
+        log_distance_path_loss_db(4.0, 60.48e9, path_loss_exponent=5.0)
+    ) == CLOSED_FORM(98.1830184381445, rel=1e-9)
+
+
+def test_oxygen_absorption_golden():
+    assert float(oxygen_absorption_db(4.0)) == CLOSED_FORM(0.064, rel=1e-9)
+
+
+def test_line_of_sight_power_golden():
+    budget = LinkBudget()
+    assert float(budget.line_of_sight_power_dbm(4.0)) == CLOSED_FORM(
+        -25.185218698305626, rel=1e-9
+    )
+    assert float(budget.line_of_sight_power_dbm(8.0)) == CLOSED_FORM(
+        -31.26981861158525, rel=1e-9
+    )
+
+
+# -- mmwave/power.py ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def periodic_scene():
+    scene = CorridorScene(pedestrians=periodic_crossing_traffic(duration_s=6.0))
+    frames = list(scene.frames(120))
+    return scene, frames
+
+
+def test_deterministic_power_trace_golden(periodic_scene):
+    scene, frames = periodic_scene
+    trace = ReceivedPowerModel().power_trace_dbm(scene, frames)
+    clear_level = -25.185218698305626
+    assert np.allclose(trace[:8], clear_level, rtol=1e-9)
+    assert float(trace.min()) == CLOSED_FORM(-43.57963350701127, rel=1e-9)
+    assert float(trace.mean()) == CLOSED_FORM(-26.58472015324377, rel=1e-9)
+    assert sum(frame.line_of_sight_blocked for frame in frames) == 13
+
+
+def test_seeded_power_trace_golden(periodic_scene):
+    scene, frames = periodic_scene
+    model = ReceivedPowerModel.with_default_randomness(seed=2024)
+    trace = model.power_trace_dbm(scene, frames)
+    expected_head = [
+        -24.934561686256234,
+        -26.598619312251408,
+        -24.71370703631237,
+        -25.924802238997405,
+        -26.464026063888852,
+    ]
+    assert trace[:5] == pytest.approx(expected_head, **RNG_TOL)
+    assert float(trace.mean()) == pytest.approx(-27.367837998022036, **RNG_TOL)
+    assert float(trace.std()) == pytest.approx(4.252968834124445, **RNG_TOL)
+
+
+# -- dataset generation -------------------------------------------------------------
+
+#: Depth image of the first frame with a blocked line of sight in the golden
+#: dataset (a pedestrian column in front of the corridor-wall background).
+GOLDEN_BLOCKED_FRAME = np.array(
+    [
+        [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        [0.74578697, 1.0, 0.22481184, 0.22013095, 1.0, 1.0, 1.0, 0.74578697],
+        [0.72314326, 0.79370087, 0.21537238, 0.21053213, 0.75155096, 0.76583808, 0.79370087, 0.72314326],
+        [0.71157439, 0.77988412, 0.21053213, 0.20560586, 0.7370099, 0.75155096, 0.77988412, 0.71157439],
+        [0.71157439, 0.77988412, 0.21053213, 0.20560586, 0.7370099, 0.75155096, 0.77988412, 0.71157439],
+        [1.0, 1.0, 0.21537238, 0.21053213, 1.0, 1.0, 1.0, 1.0],
+        [1.0, 1.0, 0.22481184, 0.22013095, 1.0, 1.0, 1.0, 1.0],
+        [1.0, 1.0, 0.23842391, 0.23395504, 1.0, 1.0, 1.0, 1.0],
+    ]
+)
+
+
+@pytest.fixture(scope="module")
+def golden_dataset():
+    return generate_small_dataset(
+        num_samples=160, image_size=8, seed=7, mean_interarrival_s=0.8
+    )
+
+
+def test_generated_dataset_golden_statistics(golden_dataset):
+    dataset = golden_dataset
+    assert float(dataset.images.mean()) == pytest.approx(0.7086276204560822, **RNG_TOL)
+    expected_head = [
+        -25.7070714926494,
+        -24.755432942641768,
+        -25.88273963640473,
+        -26.23044211079693,
+        -27.731575320138877,
+        -29.275174805146307,
+    ]
+    assert dataset.powers_dbm[:6] == pytest.approx(expected_head, **RNG_TOL)
+    assert float(dataset.powers_dbm.mean()) == pytest.approx(
+        -30.849431530805468, **RNG_TOL
+    )
+    assert float(dataset.powers_dbm.min()) == pytest.approx(
+        -56.13468425676041, **RNG_TOL
+    )
+    assert int(dataset.line_of_sight_blocked.sum()) == 46
+
+
+def test_generated_dataset_golden_frame(golden_dataset):
+    dataset = golden_dataset
+    first_blocked = int(np.flatnonzero(dataset.line_of_sight_blocked)[0])
+    assert first_blocked == 93
+    assert dataset.images[first_blocked] == pytest.approx(
+        GOLDEN_BLOCKED_FRAME, abs=1e-7
+    )
+    assert float(dataset.powers_dbm[first_blocked]) == pytest.approx(
+        -27.98495582559403, **RNG_TOL
+    )

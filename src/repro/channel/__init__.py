@@ -1,7 +1,18 @@
 """Wireless channel of the split-learning (cut-layer) link."""
-from repro.channel.arq import ArqSession, ArqStatistics, StepCommunication
-from repro.channel.fading import BlockFadingProcess, ExponentialFadingProcess
+from repro.channel.arq import (
+    ArqSession,
+    ArqStatistics,
+    BatchExchangeResult,
+    StepCommunication,
+)
+from repro.channel.fading import (
+    BlockFadingProcess,
+    ExponentialFadingProcess,
+    slots_from_fading,
+)
 from repro.channel.link import (
+    BatchTransmissionResult,
+    INFEASIBLE_SUCCESS_PROBABILITY,
     TransmissionResult,
     WirelessLink,
     decoding_success_probability,
@@ -17,8 +28,11 @@ from repro.channel.payload import PayloadModel
 __all__ = [
     "ArqSession",
     "ArqStatistics",
+    "BatchExchangeResult",
+    "BatchTransmissionResult",
     "BlockFadingProcess",
     "ExponentialFadingProcess",
+    "INFEASIBLE_SUCCESS_PROBABILITY",
     "LinkParams",
     "PAPER_CHANNEL_PARAMS",
     "PayloadModel",
@@ -27,5 +41,6 @@ __all__ = [
     "WirelessChannelParams",
     "WirelessLink",
     "decoding_success_probability",
+    "slots_from_fading",
     "snr_decoding_threshold",
 ]

@@ -2,46 +2,203 @@
 
 Each training step of the split model exchanges one uplink payload (cut-layer
 activations) and one downlink payload (cut-layer gradients).  ``ArqSession``
-wraps the two :class:`~repro.channel.link.WirelessLink` directions, tracks the
-cumulative communication time, and exposes per-step and aggregate statistics
-used by the trainer's wall-clock model and by the Table 1 experiment.
+wraps the two :class:`~repro.channel.link.WirelessLink` directions and exposes
+per-step and aggregate statistics used by the trainer's wall-clock model and
+by the Table 1 experiment.
+
+The downlink is *gated* on the uplink: if the activations are never decoded
+(only possible with a retransmission cap or an infeasible payload — the
+paper's defaults retry forever), the BS has nothing to backpropagate, so no
+gradient payload is transmitted and the step costs only the uplink slots.
+Statistics are streamed (Welford mean/variance of per-step slots and latency)
+instead of accumulating an unbounded per-step history; a bounded ring buffer
+of recent steps is kept for tests and debugging.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, List, Optional
 
-from repro.channel.link import TransmissionResult, WirelessLink
+import numpy as np
+
+from repro.channel.link import (
+    BatchTransmissionResult,
+    TransmissionResult,
+    WirelessLink,
+)
 from repro.channel.params import WirelessChannelParams
 from repro.utils.seeding import SeedLike, spawn_generators
 
 
 @dataclass
 class StepCommunication:
-    """Communication outcome of one split-learning training step."""
+    """Communication outcome of one split-learning training step.
+
+    ``downlink`` is ``None`` when the uplink failed and the gradient payload
+    was therefore never transmitted (the gated-exchange path).
+    """
 
     uplink: TransmissionResult
-    downlink: TransmissionResult
+    downlink: Optional[TransmissionResult]
+
+    @property
+    def downlink_skipped(self) -> bool:
+        return self.downlink is None
+
+    @property
+    def total_slots(self) -> int:
+        slots = self.uplink.slots_used
+        if self.downlink is not None:
+            slots += self.downlink.slots_used
+        return slots
 
     @property
     def total_elapsed_s(self) -> float:
-        return self.uplink.elapsed_s + self.downlink.elapsed_s
+        elapsed = self.uplink.elapsed_s
+        if self.downlink is not None:
+            elapsed += self.downlink.elapsed_s
+        return elapsed
 
     @property
     def success(self) -> bool:
-        return self.uplink.success and self.downlink.success
+        return (
+            self.uplink.success
+            and self.downlink is not None
+            and self.downlink.success
+        )
+
+
+@dataclass
+class BatchExchangeResult:
+    """Vectorized outcome of :meth:`ArqSession.exchange_many`, one entry per step."""
+
+    uplink_slots: np.ndarray
+    downlink_slots: np.ndarray
+    elapsed_s: np.ndarray
+    success: np.ndarray
+    downlink_skipped: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.success)
+
+    @property
+    def total_elapsed_s(self) -> float:
+        return float(self.elapsed_s.sum())
+
+    @property
+    def num_successes(self) -> int:
+        return int(self.success.sum())
 
 
 @dataclass
 class ArqStatistics:
-    """Aggregate communication statistics over a training run."""
+    """Streaming aggregate communication statistics over a training run.
+
+    All quantities are O(1) in memory: means and variances of the per-step
+    slot count and latency are maintained with Welford's algorithm (merged
+    batch-wise for vectorized exchanges), so arbitrarily long runs never
+    accumulate a per-step history.  Variances are population variances over
+    the recorded steps.
+    """
 
     steps: int = 0
     uplink_slots: int = 0
     downlink_slots: int = 0
     uplink_first_attempt_successes: int = 0
     downlink_first_attempt_successes: int = 0
+    uplink_failures: int = 0
+    downlink_failures: int = 0
+    downlink_skipped: int = 0
     total_elapsed_s: float = 0.0
+    slots_mean: float = 0.0
+    slots_m2: float = 0.0
+    latency_mean_s: float = 0.0
+    latency_m2: float = 0.0
+
+    # -- recording ------------------------------------------------------------------
+    def record(self, step: StepCommunication) -> None:
+        """Fold one exchange outcome into the running aggregates."""
+        self.steps += 1
+        self.uplink_slots += step.uplink.slots_used
+        self.uplink_first_attempt_successes += int(step.uplink.first_attempt_success)
+        self.uplink_failures += int(not step.uplink.success)
+        if step.downlink is None:
+            self.downlink_skipped += 1
+        else:
+            self.downlink_slots += step.downlink.slots_used
+            self.downlink_first_attempt_successes += int(
+                step.downlink.first_attempt_success
+            )
+            self.downlink_failures += int(not step.downlink.success)
+        self.total_elapsed_s += step.total_elapsed_s
+
+        delta = step.total_slots - self.slots_mean
+        self.slots_mean += delta / self.steps
+        self.slots_m2 += delta * (step.total_slots - self.slots_mean)
+        delta = step.total_elapsed_s - self.latency_mean_s
+        self.latency_mean_s += delta / self.steps
+        self.latency_m2 += delta * (step.total_elapsed_s - self.latency_mean_s)
+
+    def record_batch(
+        self,
+        uplink: BatchTransmissionResult,
+        downlink: BatchTransmissionResult,
+        downlink_mask: np.ndarray,
+    ) -> None:
+        """Fold a vectorized exchange (see :meth:`ArqSession.exchange_many`).
+
+        ``downlink`` holds one entry per *attempted* downlink, in step order;
+        ``downlink_mask`` marks which steps attempted one.
+        """
+        count = len(uplink)
+        if count == 0:
+            return
+        step_slots = uplink.slots_used.astype(np.float64)
+        step_elapsed = uplink.elapsed_s.copy()
+        step_slots[downlink_mask] += downlink.slots_used
+        step_elapsed[downlink_mask] += downlink.elapsed_s
+
+        self.uplink_slots += uplink.total_slots
+        self.uplink_first_attempt_successes += int(uplink.first_attempt_success.sum())
+        self.uplink_failures += count - uplink.num_successes
+        self.downlink_slots += downlink.total_slots
+        self.downlink_first_attempt_successes += int(
+            downlink.first_attempt_success.sum()
+        )
+        self.downlink_failures += len(downlink) - downlink.num_successes
+        self.downlink_skipped += count - int(downlink_mask.sum())
+        self.total_elapsed_s += float(step_elapsed.sum())
+
+        self._merge_moments("slots_mean", "slots_m2", step_slots)
+        self._merge_moments("latency_mean_s", "latency_m2", step_elapsed)
+        self.steps += count
+
+    def _merge_moments(self, mean_attr: str, m2_attr: str, values: np.ndarray) -> None:
+        """Chan's parallel variance merge of ``values`` into a running moment pair."""
+        count = len(values)
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+        total = self.steps + count
+        delta = batch_mean - getattr(self, mean_attr)
+        setattr(
+            self,
+            mean_attr,
+            getattr(self, mean_attr) + delta * count / total,
+        )
+        setattr(
+            self,
+            m2_attr,
+            getattr(self, m2_attr)
+            + batch_m2
+            + delta * delta * self.steps * count / total,
+        )
+
+    # -- derived quantities -----------------------------------------------------------
+    @property
+    def downlink_attempts(self) -> int:
+        """Steps on which a downlink payload was actually transmitted."""
+        return self.steps - self.downlink_skipped
 
     @property
     def uplink_first_attempt_success_rate(self) -> float:
@@ -49,15 +206,95 @@ class ArqStatistics:
 
     @property
     def downlink_first_attempt_success_rate(self) -> float:
-        return (
-            self.downlink_first_attempt_successes / self.steps if self.steps else 0.0
-        )
+        """First-slot success rate over *attempted* downlinks (gated steps excluded)."""
+        attempts = self.downlink_attempts
+        return self.downlink_first_attempt_successes / attempts if attempts else 0.0
 
     @property
     def mean_slots_per_step(self) -> float:
-        if not self.steps:
-            return 0.0
-        return (self.uplink_slots + self.downlink_slots) / self.steps
+        return self.slots_mean if self.steps else 0.0
+
+    @property
+    def slots_variance(self) -> float:
+        return self.slots_m2 / self.steps if self.steps else 0.0
+
+    @property
+    def slots_std(self) -> float:
+        return float(np.sqrt(self.slots_variance))
+
+    @property
+    def mean_step_latency_s(self) -> float:
+        return self.latency_mean_s if self.steps else 0.0
+
+    @property
+    def latency_variance_s2(self) -> float:
+        return self.latency_m2 / self.steps if self.steps else 0.0
+
+    @property
+    def latency_std_s(self) -> float:
+        return float(np.sqrt(self.latency_variance_s2))
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def snapshot(self) -> "ArqStatistics":
+        """Immutable-by-copy view of the current aggregates."""
+        return replace(self)
+
+    def merge(self, other: "ArqStatistics") -> "ArqStatistics":
+        """Combined statistics of two disjoint runs (for sweep aggregation)."""
+        merged = self.snapshot()
+        if other.steps == 0:
+            return merged
+        if merged.steps == 0:
+            return other.snapshot()
+        total = merged.steps + other.steps
+        for mean_attr, m2_attr in (
+            ("slots_mean", "slots_m2"),
+            ("latency_mean_s", "latency_m2"),
+        ):
+            delta = getattr(other, mean_attr) - getattr(merged, mean_attr)
+            setattr(
+                merged,
+                mean_attr,
+                getattr(merged, mean_attr) + delta * other.steps / total,
+            )
+            setattr(
+                merged,
+                m2_attr,
+                getattr(merged, m2_attr)
+                + getattr(other, m2_attr)
+                + delta * delta * merged.steps * other.steps / total,
+            )
+        for attr in (
+            "steps",
+            "uplink_slots",
+            "downlink_slots",
+            "uplink_first_attempt_successes",
+            "downlink_first_attempt_successes",
+            "uplink_failures",
+            "downlink_failures",
+            "downlink_skipped",
+            "total_elapsed_s",
+        ):
+            setattr(merged, attr, getattr(merged, attr) + getattr(other, attr))
+        return merged
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (used by the sweep artifact)."""
+        return {
+            "steps": self.steps,
+            "uplink_slots": self.uplink_slots,
+            "downlink_slots": self.downlink_slots,
+            "uplink_failures": self.uplink_failures,
+            "downlink_failures": self.downlink_failures,
+            "downlink_skipped": self.downlink_skipped,
+            "mean_slots_per_step": self.mean_slots_per_step,
+            "slots_std": self.slots_std,
+            "mean_step_latency_s": self.mean_step_latency_s,
+            "latency_std_s": self.latency_std_s,
+            "uplink_first_attempt_success_rate": self.uplink_first_attempt_success_rate,
+            "downlink_first_attempt_success_rate": self.downlink_first_attempt_success_rate,
+            "total_elapsed_s": self.total_elapsed_s,
+        }
 
 
 @dataclass
@@ -69,17 +306,24 @@ class ArqSession:
         max_retransmissions: per-payload retransmission cap (``None`` retries
             until success, matching the paper).
         seed: RNG seed shared between the two directions (split internally).
+        history_limit: size of the bounded ring buffer of recent
+            :class:`StepCommunication` outcomes exposed as :attr:`history`
+            (aggregate statistics are unaffected by this limit; vectorized
+            :meth:`exchange_many` steps bypass the buffer).
     """
 
     params: WirelessChannelParams
     max_retransmissions: int | None = None
     seed: SeedLike = None
+    history_limit: int = 32
     uplink: WirelessLink = field(init=False)
     downlink: WirelessLink = field(init=False)
     statistics: ArqStatistics = field(init=False)
-    history: List[StepCommunication] = field(init=False)
+    _recent: Deque[StepCommunication] = field(init=False, repr=False)
 
     def __post_init__(self):
+        if self.history_limit < 0:
+            raise ValueError("history_limit must be non-negative")
         uplink_rng, downlink_rng = spawn_generators(self.seed, 2)
         self.uplink = WirelessLink(
             params=self.params,
@@ -94,30 +338,71 @@ class ArqSession:
             seed=downlink_rng,
         )
         self.statistics = ArqStatistics()
-        self.history = []
+        self._recent = deque(maxlen=self.history_limit)
+
+    @property
+    def history(self) -> List[StepCommunication]:
+        """The most recent exchanges (bounded by ``history_limit``)."""
+        return list(self._recent)
 
     def exchange(
         self, uplink_payload_bits: float, downlink_payload_bits: float
     ) -> StepCommunication:
-        """Transmit the forward payload uplink and the gradient payload downlink."""
-        uplink_result = self.uplink.transmit(uplink_payload_bits)
-        downlink_result = self.downlink.transmit(downlink_payload_bits)
-        step = StepCommunication(uplink=uplink_result, downlink=downlink_result)
+        """Transmit the forward payload uplink, then — only if it was decoded —
+        the gradient payload downlink.
 
-        self.statistics.steps += 1
-        self.statistics.uplink_slots += uplink_result.slots_used
-        self.statistics.downlink_slots += downlink_result.slots_used
-        self.statistics.uplink_first_attempt_successes += int(
-            uplink_result.first_attempt_success
+        A failed uplink means the BS never computed gradients, so the step
+        costs only the uplink slots and ``downlink`` is ``None``.
+        """
+        uplink_result = self.uplink.transmit(uplink_payload_bits)
+        downlink_result = (
+            self.downlink.transmit(downlink_payload_bits)
+            if uplink_result.success
+            else None
         )
-        self.statistics.downlink_first_attempt_successes += int(
-            downlink_result.first_attempt_success
-        )
-        self.statistics.total_elapsed_s += step.total_elapsed_s
-        self.history.append(step)
+        step = StepCommunication(uplink=uplink_result, downlink=downlink_result)
+        self.statistics.record(step)
+        self._recent.append(step)
         return step
 
+    def exchange_many(
+        self,
+        uplink_payload_bits: float,
+        downlink_payload_bits: float,
+        steps: int,
+    ) -> BatchExchangeResult:
+        """Vectorized multi-step exchange with the same gating as :meth:`exchange`.
+
+        Both directions draw their whole batch of fading gains at once; the
+        downlink batch covers only the steps whose uplink was decoded, in step
+        order, so the RNG streams — and therefore the sampled outcomes — are
+        identical to ``steps`` sequential :meth:`exchange` calls.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        uplink = self.uplink.transmit_many(uplink_payload_bits, steps)
+        downlink = self.downlink.transmit_many(
+            downlink_payload_bits, uplink.num_successes
+        )
+        mask = uplink.success
+
+        downlink_slots = np.zeros(steps, dtype=np.int64)
+        downlink_slots[mask] = downlink.slots_used
+        elapsed = uplink.elapsed_s.copy()
+        elapsed[mask] += downlink.elapsed_s
+        success = np.zeros(steps, dtype=bool)
+        success[mask] = downlink.success
+
+        self.statistics.record_batch(uplink, downlink, mask)
+        return BatchExchangeResult(
+            uplink_slots=uplink.slots_used,
+            downlink_slots=downlink_slots,
+            elapsed_s=elapsed,
+            success=success,
+            downlink_skipped=~mask,
+        )
+
     def reset_statistics(self) -> None:
-        """Clear aggregate statistics and the per-step history."""
+        """Clear aggregate statistics and the recent-step ring buffer."""
         self.statistics = ArqStatistics()
-        self.history = []
+        self._recent.clear()

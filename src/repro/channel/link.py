@@ -15,6 +15,14 @@ successfully when the slot capacity exceeds the payload:
 and would make every transmission succeed; we implement the standard
 Shannon-threshold form above, which also reproduces the success probabilities
 in Table 1.)  Failed transmissions are retried in subsequent slots.
+
+Because the fading is i.i.d. across slots, the retry loop is never simulated
+slot by slot: the number of slots until first decode is ``Geometric(p)`` and
+is sampled in closed form from a single fading draw (see
+:func:`repro.channel.fading.slots_from_fading`), truncated at the
+retransmission cap when one is configured.  The legacy per-slot loop is
+retained as :meth:`WirelessLink.transmit_reference` — the correctness oracle
+for equivalence tests and the baseline for the channel benchmarks.
 """
 from __future__ import annotations
 
@@ -23,9 +31,16 @@ import math
 
 import numpy as np
 
-from repro.channel.fading import ExponentialFadingProcess
+from repro.channel.fading import ExponentialFadingProcess, slots_from_fading
 from repro.channel.params import WirelessChannelParams
 from repro.utils.seeding import SeedLike, spawn_generators
+
+#: Per-slot success probabilities below this floor are declared infeasible:
+#: the link reports an immediate single-slot failure instead of simulating a
+#: hopeless retry storm.  The same accounting applies with and without a
+#: retransmission cap, so :attr:`ArqStatistics.mean_slots_per_step` stays
+#: comparable across configurations (see :meth:`WirelessLink.transmit`).
+INFEASIBLE_SUCCESS_PROBABILITY = 1e-12
 
 
 def snr_decoding_threshold(
@@ -81,6 +96,55 @@ class TransmissionResult:
 
 
 @dataclass
+class BatchTransmissionResult:
+    """Outcomes of transmitting a batch of payloads, one entry per payload.
+
+    Attributes:
+        success: whether each payload was eventually decoded.
+        slots_used: slots consumed per payload (including the successful one).
+        elapsed_s: wall-clock time per payload, ``slots_used * tau``.
+        first_attempt_success: whether the first slot succeeded per payload.
+    """
+
+    success: np.ndarray
+    slots_used: np.ndarray
+    elapsed_s: np.ndarray
+    first_attempt_success: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.slots_used)
+
+    def __getitem__(self, index: int) -> TransmissionResult:
+        return TransmissionResult(
+            success=bool(self.success[index]),
+            slots_used=int(self.slots_used[index]),
+            elapsed_s=float(self.elapsed_s[index]),
+            first_attempt_success=bool(self.first_attempt_success[index]),
+        )
+
+    @property
+    def total_slots(self) -> int:
+        return int(self.slots_used.sum())
+
+    @property
+    def total_elapsed_s(self) -> float:
+        return float(self.elapsed_s.sum())
+
+    @property
+    def num_successes(self) -> int:
+        return int(self.success.sum())
+
+    @classmethod
+    def empty(cls) -> "BatchTransmissionResult":
+        return cls(
+            success=np.zeros(0, dtype=bool),
+            slots_used=np.zeros(0, dtype=np.int64),
+            elapsed_s=np.zeros(0, dtype=np.float64),
+            first_attempt_success=np.zeros(0, dtype=bool),
+        )
+
+
+@dataclass
 class WirelessLink:
     """One direction of the SL link with slot-based retransmissions.
 
@@ -130,25 +194,119 @@ class WirelessLink:
         )
 
     def transmit(self, payload_bits: float) -> TransmissionResult:
-        """Simulate transmitting one payload, retrying on failed slots."""
-        threshold = self.snr_threshold(payload_bits)
+        """Simulate transmitting one payload, retrying on failed slots.
+
+        The slot count is drawn directly from the geometric distribution via
+        one fading draw (i.i.d. fading makes this statistically identical to
+        the per-slot loop in :meth:`transmit_reference`), truncated when a
+        retransmission cap is configured: a payload that would need more than
+        ``max_retransmissions + 1`` slots fails after exactly that many.
+
+        Payloads whose per-slot success probability is below
+        :data:`INFEASIBLE_SUCCESS_PROBABILITY` are *declared infeasible* and
+        reported as a single-slot failure in every configuration — capped or
+        not — rather than simulating a retry storm that cannot succeed.  This
+        unified accounting keeps slot statistics comparable across
+        retransmission configurations.
+        """
+        probability = self.success_probability(payload_bits)
         slot = self.params.slot_duration_s
-        # Fast path: a payload that can never be decoded would loop forever
-        # when retransmissions are uncapped; cap the simulated attempts while
-        # reporting failure.
-        if math.isinf(threshold) or self.success_probability(payload_bits) < 1e-12:
-            attempts = (
-                self.max_retransmissions + 1
-                if self.max_retransmissions is not None
-                else 1
+        if probability < INFEASIBLE_SUCCESS_PROBABILITY:
+            return TransmissionResult(
+                success=False,
+                slots_used=1,
+                elapsed_s=slot,
+                first_attempt_success=False,
             )
+
+        # Scalar inverse-transform of one fading draw (the scalar twin of
+        # slots_from_fading, kept in pure Python to avoid numpy call overhead
+        # on the per-step hot path).  The draw is consumed even when p == 1
+        # so the stream stays aligned with transmit_many.
+        gain = self.fading.sample_one() / self.fading.mean
+        if probability >= 1.0:
+            slots = 1
+        else:
+            slots = max(1, math.ceil(gain / -math.log1p(-probability)))
+        if (
+            self.max_retransmissions is not None
+            and slots > self.max_retransmissions + 1
+        ):
+            attempts = self.max_retransmissions + 1
             return TransmissionResult(
                 success=False,
                 slots_used=attempts,
                 elapsed_s=attempts * slot,
                 first_attempt_success=False,
             )
+        return TransmissionResult(
+            success=True,
+            slots_used=slots,
+            elapsed_s=slots * slot,
+            first_attempt_success=slots == 1,
+        )
 
+    def transmit_many(self, payload_bits: float, count: int) -> BatchTransmissionResult:
+        """Vectorized :meth:`transmit` of ``count`` equal-sized payloads.
+
+        Draws the whole batch of fading gains in one call; element-for-element
+        the results (and the fading RNG stream) are identical to ``count``
+        sequential :meth:`transmit` calls.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        slot = self.params.slot_duration_s
+        if count == 0:
+            return BatchTransmissionResult.empty()
+        probability = self.success_probability(payload_bits)
+        if probability < INFEASIBLE_SUCCESS_PROBABILITY:
+            # Declared-infeasible accounting: one slot per payload, no draws.
+            slots = np.ones(count, dtype=np.int64)
+            return BatchTransmissionResult(
+                success=np.zeros(count, dtype=bool),
+                slots_used=slots,
+                elapsed_s=slots * slot,
+                first_attempt_success=np.zeros(count, dtype=bool),
+            )
+
+        gains = self.fading.sample(count)
+        slots = slots_from_fading(gains, probability, self.fading.mean)
+        success = np.ones(count, dtype=bool)
+        if self.max_retransmissions is not None:
+            cap = self.max_retransmissions + 1
+            success = slots <= cap
+            slots = np.minimum(slots, float(cap))
+        # With probability >= the feasibility floor, slot counts stay far
+        # inside the int64 range (< ~1e14 even at the floor).
+        slots = slots.astype(np.int64)
+        return BatchTransmissionResult(
+            success=success,
+            slots_used=slots,
+            elapsed_s=slots * slot,
+            first_attempt_success=success & (slots == 1),
+        )
+
+    def transmit_reference(self, payload_bits: float) -> TransmissionResult:
+        """Legacy per-slot retry loop (correctness oracle for :meth:`transmit`).
+
+        Draws one fading gain per slot — expected ``1/p`` draws per payload —
+        and is therefore pathologically slow at low success probability.  It
+        is retained as the statistical reference for equivalence tests and
+        the channel benchmarks, with the same declared-infeasible accounting
+        as the O(1) path.  Note the two paths consume the fading RNG stream
+        at different rates, so they are equivalent in distribution, not
+        draw-for-draw.
+        """
+        probability = self.success_probability(payload_bits)
+        slot = self.params.slot_duration_s
+        if probability < INFEASIBLE_SUCCESS_PROBABILITY:
+            return TransmissionResult(
+                success=False,
+                slots_used=1,
+                elapsed_s=slot,
+                first_attempt_success=False,
+            )
+        threshold = self.snr_threshold(payload_bits)
         attempts = 0
         while True:
             attempts += 1

@@ -38,6 +38,7 @@ class Fig3aResult:
     def summary_rows(self) -> List[dict]:
         rows = []
         for name, history in self.histories.items():
+            communication = history.communication
             rows.append(
                 {
                     "scheme": name,
@@ -46,6 +47,13 @@ class Fig3aResult:
                     "elapsed_s": history.total_elapsed_s,
                     "epochs": len(history.records),
                     "reached_target": history.reached_target,
+                    "lost_steps": sum(r.lost_steps for r in history.records),
+                    "mean_slots_per_step": (
+                        communication.mean_slots_per_step if communication else 0.0
+                    ),
+                    "mean_step_latency_s": (
+                        communication.mean_step_latency_s if communication else 0.0
+                    ),
                 }
             )
         return rows
@@ -53,14 +61,16 @@ class Fig3aResult:
     def format_table(self) -> str:
         header = (
             f"{'scheme':<22s} {'final RMSE':>11s} {'best RMSE':>10s} "
-            f"{'sim time':>9s} {'epochs':>7s} {'target?':>8s}"
+            f"{'sim time':>9s} {'epochs':>7s} {'slots/step':>11s} "
+            f"{'lost':>5s} {'target?':>8s}"
         )
         lines = [header]
         for row in self.summary_rows():
             lines.append(
                 f"{row['scheme']:<22s} {row['final_rmse_db']:>11.2f} "
                 f"{row['best_rmse_db']:>10.2f} {row['elapsed_s']:>9.2f} "
-                f"{row['epochs']:>7d} {str(row['reached_target']):>8s}"
+                f"{row['epochs']:>7d} {row['mean_slots_per_step']:>11.2f} "
+                f"{row['lost_steps']:>5d} {str(row['reached_target']):>8s}"
             )
         return "\n".join(lines)
 

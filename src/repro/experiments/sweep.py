@@ -43,8 +43,10 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.sweep")
 
-#: Version of the artifact JSON layout.
-ARTIFACT_SCHEMA_VERSION = 1
+#: Version of the artifact JSON layout.  v2 added the per-scheme streaming
+#: communication metrics (``comm_*`` keys, from the geometric-sampling ARQ)
+#: to the fig3a cell metrics.
+ARTIFACT_SCHEMA_VERSION = 2
 
 MetricFn = Callable[[ExperimentScale, DepthPowerDataset], Dict[str, float]]
 
@@ -72,6 +74,21 @@ def _metrics_fig3a(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[s
         metrics[f"{name}/best_rmse_db"] = float(history.best_rmse_db)
         metrics[f"{name}/elapsed_s"] = float(history.total_elapsed_s)
         metrics[f"{name}/epochs"] = float(len(history.records))
+        metrics[f"{name}/lost_steps"] = float(
+            sum(record.lost_steps for record in history.records)
+        )
+        communication = history.communication
+        if communication is not None and communication.steps:
+            metrics[f"{name}/comm_mean_slots_per_step"] = float(
+                communication.mean_slots_per_step
+            )
+            metrics[f"{name}/comm_slots_std"] = float(communication.slots_std)
+            metrics[f"{name}/comm_mean_step_latency_s"] = float(
+                communication.mean_step_latency_s
+            )
+            metrics[f"{name}/comm_downlink_skipped"] = float(
+                communication.downlink_skipped
+            )
     return metrics
 
 

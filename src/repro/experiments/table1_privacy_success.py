@@ -43,7 +43,13 @@ PAPER_TABLE1 = {
 
 @dataclass
 class Table1Row:
-    """One column of Table 1 (one pooling configuration)."""
+    """One column of Table 1 (one pooling configuration).
+
+    ``expected_uplink_slots`` / ``expected_uplink_latency_s`` are the
+    closed-form geometric expectations (``1/p`` slots; ``inf`` for payloads
+    the channel can never decode) — the same quantities the O(1) sampling ARQ
+    reports on average in :class:`repro.channel.ArqStatistics`.
+    """
 
     pooling: int
     privacy_leakage: float
@@ -51,6 +57,8 @@ class Table1Row:
     success_probability: float
     uplink_payload_bits: float
     values_per_image: int
+    expected_uplink_slots: float = float("inf")
+    expected_uplink_latency_s: float = float("inf")
 
 
 @dataclass
@@ -76,6 +84,7 @@ class Table1Result:
                 "privacy_leakage": self.rows[p].privacy_leakage,
                 "success_probability": self.rows[p].success_probability,
                 "uplink_payload_kbit": self.rows[p].uplink_payload_bits / 1e3,
+                "expected_uplink_slots": self.rows[p].expected_uplink_slots,
             }
             for p in self.poolings()
         ]
@@ -83,14 +92,15 @@ class Table1Result:
     def format_table(self) -> str:
         header = (
             f"{'pooling':>10s} {'leakage':>9s} {'success prob':>13s} "
-            f"{'payload (kbit)':>15s}"
+            f"{'payload (kbit)':>15s} {'E[slots]':>10s}"
         )
         lines = [header]
         for row in self.summary_rows():
             lines.append(
                 f"{row['pooling']:>10s} {row['privacy_leakage']:>9.3f} "
                 f"{row['success_probability']:>13.4f} "
-                f"{row['uplink_payload_kbit']:>15.1f}"
+                f"{row['uplink_payload_kbit']:>15.1f} "
+                f"{row['expected_uplink_slots']:>10.4g}"
             )
         return "\n".join(lines)
 
@@ -183,6 +193,7 @@ def run_table1(
             batch_size=batch_size,
             channel=channel,
         )
+        expected_slots = 1.0 / success if success > 0.0 else float("inf")
         result.rows[pooling] = Table1Row(
             pooling=pooling,
             privacy_leakage=leakage.leakage,
@@ -190,6 +201,8 @@ def run_table1(
             success_probability=success,
             uplink_payload_bits=payload.uplink_payload_bits(batch_size),
             values_per_image=payload.values_per_image,
+            expected_uplink_slots=expected_slots,
+            expected_uplink_latency_s=expected_slots * channel.slot_duration_s,
         )
     return result
 

@@ -71,6 +71,7 @@ class SplitTrainingProtocol:
         if model.use_image:
             self.ue = UEClient(model, config.training, seed=ue_rng)
         self.bs = BSServer(model, config.training, seed=bs_rng)
+        self._training_mode = True
 
         self.payload_model: Optional[PayloadModel] = None
         self.arq: Optional[ArqSession] = None
@@ -114,6 +115,8 @@ class SplitTrainingProtocol:
             features = self.ue.forward(image_sequences)
             uplink_bits = self.payload_model.uplink_payload_bits(batch_size)
             downlink_bits = self.payload_model.downlink_payload_bits(batch_size)
+            # The exchange is gated: a lost uplink skips the downlink
+            # entirely, so the step only costs the uplink slots.
             communication = self.arq.exchange(uplink_bits, downlink_bits)
             elapsed += communication.total_elapsed_s
             if not communication.success:
@@ -171,6 +174,7 @@ class SplitTrainingProtocol:
             len(image_sequences) if image_sequences is not None else len(rf_sequences)
         )
 
+        was_training = self._training_mode
         self.eval()
         predictions = np.empty(count)
         for start in range(0, count, batch_size):
@@ -181,20 +185,28 @@ class SplitTrainingProtocol:
                 features = self.ue.forward(image_sequences[start:stop])
             rf_batch = rf_sequences[start:stop] if model.use_rf else None
             predictions[start:stop] = self.bs.predict(features, rf_batch)
-        self.train()
+        if was_training:
+            self.train()
         return predictions
 
     # -- mode switches ---------------------------------------------------------------------
+    @property
+    def training_mode(self) -> bool:
+        """Whether the protocol (UE and BS halves) is in training mode."""
+        return self._training_mode
+
     def train(self) -> "SplitTrainingProtocol":
         if self.ue is not None:
             self.ue.train()
         self.bs.train()
+        self._training_mode = True
         return self
 
     def eval(self) -> "SplitTrainingProtocol":
         if self.ue is not None:
             self.ue.eval()
         self.bs.eval()
+        self._training_mode = False
         return self
 
     def num_parameters(self) -> int:

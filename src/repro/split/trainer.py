@@ -48,7 +48,9 @@ class TrainingHistory:
         records: per-epoch learning-curve points.
         reached_target: whether the RMSE target stopped training early.
         total_elapsed_s: simulated wall-clock time of the whole run.
-        communication: aggregate ARQ statistics (``None`` for RF-only).
+        communication: snapshot of the aggregate ARQ statistics for this run
+            (``None`` for RF-only; streaming mean/std of per-step slots and
+            latency, never a per-step history).
     """
 
     scheme: str
@@ -126,6 +128,10 @@ class SplitTrainer:
 
         self.normalizer = PowerNormalizer.fit(train.power_sequences, train.targets)
         train_images, train_powers, train_targets = self._prepare_inputs(train)
+        if self.protocol.arq is not None:
+            # Each fit() accounts its own communication: stale counts from a
+            # previous run on the same trainer must not leak into this one.
+            self.protocol.arq.reset_statistics()
 
         history = TrainingHistory(scheme=model.describe())
         elapsed_s = 0.0
@@ -177,7 +183,9 @@ class SplitTrainer:
 
         history.total_elapsed_s = elapsed_s
         if self.protocol.arq is not None:
-            history.communication = self.protocol.arq.statistics
+            # Snapshot, not the live object: later steps on this session (or a
+            # second fit) must not mutate the returned history.
+            history.communication = self.protocol.arq.statistics.snapshot()
         return history
 
     # -- evaluation -----------------------------------------------------------------------

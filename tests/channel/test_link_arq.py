@@ -6,14 +6,26 @@ import pytest
 
 from repro.channel import (
     ArqSession,
+    ArqStatistics,
     BlockFadingProcess,
     ExponentialFadingProcess,
+    INFEASIBLE_SUCCESS_PROBABILITY,
     PAPER_CHANNEL_PARAMS,
     PayloadModel,
     WirelessLink,
     decoding_success_probability,
+    slots_from_fading,
     snr_decoding_threshold,
 )
+
+
+def payload_for_success_probability(probability: float, direction: str = "uplink") -> float:
+    """Payload bits giving the requested per-slot success probability."""
+    params = PAPER_CHANNEL_PARAMS
+    mean_snr = params.mean_snr(direction)
+    threshold = -mean_snr * math.log(probability)
+    bandwidth = params.direction(direction).bandwidth_hz
+    return params.slot_duration_s * bandwidth * math.log2(1.0 + threshold)
 
 
 def test_exponential_fading_unit_mean():
@@ -166,3 +178,291 @@ def test_arq_session_reproducible_with_seed():
 
     assert run(7) == run(7)
     assert run(7) != run(8)
+
+
+# -- geometric sampling --------------------------------------------------------------
+
+
+def test_slots_from_fading_distribution_and_validation():
+    rng = np.random.default_rng(0)
+    draws = rng.exponential(1.0, size=50000)
+    slots = slots_from_fading(draws, 0.5)
+    assert np.all(slots >= 1.0)
+    assert slots.mean() == pytest.approx(2.0, abs=0.05)
+    assert (slots == 1.0).mean() == pytest.approx(0.5, abs=0.02)
+    # p == 1 decodes in the first slot regardless of the draw.
+    assert np.all(slots_from_fading(draws, 1.0) == 1.0)
+    # Non-unit fading mean rescales the draws, not the distribution.
+    scaled = slots_from_fading(3.0 * draws, 0.5, mean=3.0)
+    assert np.array_equal(scaled, slots)
+    with pytest.raises(ValueError):
+        slots_from_fading(draws, 0.0)
+    with pytest.raises(ValueError):
+        slots_from_fading(draws, 1.5)
+
+
+def test_transmit_matches_reference_loop_distribution():
+    """The O(1) geometric sampler and the per-slot loop sample the same law."""
+    payload = payload_for_success_probability(0.5)
+    geometric_link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=11)
+    loop_link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=47)
+    count = 6000
+    geometric = geometric_link.transmit_many(payload, count).slots_used
+    loop = np.array(
+        [loop_link.transmit_reference(payload).slots_used for _ in range(count)]
+    )
+    # Geometric(0.5): mean 2, variance 2.  Means of 6000 draws have a standard
+    # error of ~0.018; 5-sigma two-sample tolerances keep this deterministic
+    # in practice while still catching a wrong distribution.
+    standard_error = math.sqrt(2.0 / count + 2.0 / count)
+    assert abs(geometric.mean() - loop.mean()) < 5 * standard_error
+    assert geometric.mean() == pytest.approx(2.0, abs=5 * math.sqrt(2.0 / count))
+    for slots_value, mass in ((1, 0.5), (2, 0.25), (3, 0.125)):
+        geometric_mass = (geometric == slots_value).mean()
+        loop_mass = (loop == slots_value).mean()
+        assert geometric_mass == pytest.approx(mass, abs=0.035)
+        assert abs(geometric_mass - loop_mass) < 0.05
+
+
+def test_transmit_many_matches_sequential_transmits():
+    """transmit_many consumes the fading stream exactly like scalar transmits."""
+    payload = payload_for_success_probability(0.3)
+    batched = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=5)
+    scalar = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=5)
+    batch = batched.transmit_many(payload, 64)
+    results = [scalar.transmit(payload) for _ in range(64)]
+    assert [int(s) for s in batch.slots_used] == [r.slots_used for r in results]
+    assert [bool(s) for s in batch.success] == [r.success for r in results]
+    assert batch.total_elapsed_s == pytest.approx(sum(r.elapsed_s for r in results))
+    # And the streams stay aligned afterwards.
+    assert batched.transmit(payload).slots_used == scalar.transmit(payload).slots_used
+
+
+def test_transmit_many_empty_and_validation():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    empty = link.transmit_many(1000.0, 0)
+    assert len(empty) == 0
+    assert empty.total_slots == 0
+    with pytest.raises(ValueError):
+        link.transmit_many(1000.0, -1)
+
+
+def test_batch_result_indexing():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    batch = link.transmit_many(1000.0, 3)
+    first = batch[0]
+    assert first.success and first.slots_used == int(batch.slots_used[0])
+    assert batch.num_successes == 3
+
+
+def test_capped_retransmission_boundary_exactly_n_plus_one():
+    """A capped link fails after exactly max_retransmissions + 1 attempts."""
+    cap = 3
+    link = WirelessLink(
+        params=PAPER_CHANNEL_PARAMS,
+        direction="uplink",
+        max_retransmissions=cap,
+        seed=0,
+    )
+    # p = 1e-6 is far above the feasibility floor but fails the 4-slot budget
+    # almost surely: every observed failure must consume exactly cap+1 slots.
+    payload = payload_for_success_probability(1e-6)
+    assert link.success_probability(payload) > INFEASIBLE_SUCCESS_PROBABILITY
+    for _ in range(50):
+        result = link.transmit(payload)
+        assert not result.success
+        assert result.slots_used == cap + 1
+        assert result.elapsed_s == pytest.approx((cap + 1) * 1e-3)
+        assert not result.first_attempt_success
+    batch = link.transmit_many(payload, 200)
+    assert not batch.success.any()
+    assert np.all(batch.slots_used == cap + 1)
+    # Successful capped transmissions never exceed the budget either.
+    easy = WirelessLink(
+        params=PAPER_CHANNEL_PARAMS, direction="uplink", max_retransmissions=cap, seed=1
+    )
+    easy_batch = easy.transmit_many(payload_for_success_probability(0.5), 500)
+    assert np.all(easy_batch.slots_used <= cap + 1)
+    assert np.all(easy_batch.slots_used[easy_batch.success] >= 1)
+
+
+def test_infeasible_accounting_unified_across_retransmission_configs():
+    """Undecodable payloads report one slot whether or not a cap is set."""
+    huge_payload = 1e9
+    for max_retransmissions in (None, 0, 3):
+        link = WirelessLink(
+            params=PAPER_CHANNEL_PARAMS,
+            direction="uplink",
+            max_retransmissions=max_retransmissions,
+            seed=0,
+        )
+        result = link.transmit(huge_payload)
+        assert not result.success
+        assert result.slots_used == 1
+        assert result.elapsed_s == pytest.approx(1e-3)
+        batch = link.transmit_many(huge_payload, 5)
+        assert not batch.success.any()
+        assert np.all(batch.slots_used == 1)
+
+
+def test_infeasible_transmissions_consume_no_fading_draws():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=9)
+    untouched = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=9)
+    link.transmit(1e9)
+    link.transmit_many(1e9, 4)
+    payload = payload_for_success_probability(0.5)
+    assert link.transmit(payload).slots_used == untouched.transmit(payload).slots_used
+
+
+# -- gated exchange ------------------------------------------------------------------
+
+
+def test_exchange_gates_downlink_on_uplink_failure():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=2, seed=0)
+    bad_uplink = payload_for_success_probability(1e-8)
+    step = session.exchange(bad_uplink, 1000.0)
+    assert not step.uplink.success
+    assert step.downlink is None
+    assert step.downlink_skipped
+    assert not step.success
+    assert step.total_slots == step.uplink.slots_used
+    assert step.total_elapsed_s == pytest.approx(step.uplink.elapsed_s)
+    stats = session.statistics
+    assert stats.steps == 1
+    assert stats.downlink_slots == 0
+    assert stats.downlink_skipped == 1
+    assert stats.downlink_attempts == 0
+    assert stats.uplink_failures == 1
+    assert stats.downlink_first_attempt_success_rate == 0.0
+
+
+def test_gated_exchange_preserves_downlink_stream():
+    """A skipped downlink must not consume downlink fading draws."""
+    gated = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=2, seed=42)
+    fresh = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=2, seed=42)
+    bad_uplink = payload_for_success_probability(1e-8)
+    good_payload = payload_for_success_probability(0.5)
+    gated.exchange(bad_uplink, good_payload)  # uplink fails, downlink skipped
+    # Align the uplink streams: consume the same number of uplink draws.
+    fresh.uplink.transmit(bad_uplink)
+    after_gate = gated.exchange(good_payload, good_payload)
+    reference = fresh.exchange(good_payload, good_payload)
+    assert after_gate.downlink.slots_used == reference.downlink.slots_used
+
+
+def test_exchange_many_matches_sequential_exchanges():
+    payload = payload_for_success_probability(0.4)
+    batched = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=1, seed=3)
+    sequential = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=1, seed=3)
+    result = batched.exchange_many(payload, payload, 60)
+    steps = [sequential.exchange(payload, payload) for _ in range(60)]
+    assert [int(s) for s in result.uplink_slots] == [
+        step.uplink.slots_used for step in steps
+    ]
+    assert [int(s) for s in result.downlink_slots] == [
+        step.downlink.slots_used if step.downlink else 0 for step in steps
+    ]
+    assert [bool(s) for s in result.success] == [step.success for step in steps]
+    assert [bool(s) for s in result.downlink_skipped] == [
+        step.downlink_skipped for step in steps
+    ]
+    assert result.total_elapsed_s == pytest.approx(
+        sum(step.total_elapsed_s for step in steps)
+    )
+    batch_stats, scalar_stats = batched.statistics, sequential.statistics
+    assert batch_stats.steps == scalar_stats.steps
+    assert batch_stats.uplink_slots == scalar_stats.uplink_slots
+    assert batch_stats.downlink_slots == scalar_stats.downlink_slots
+    assert batch_stats.downlink_skipped == scalar_stats.downlink_skipped
+    assert batch_stats.mean_slots_per_step == pytest.approx(
+        scalar_stats.mean_slots_per_step
+    )
+    assert batch_stats.slots_std == pytest.approx(scalar_stats.slots_std)
+    assert batch_stats.mean_step_latency_s == pytest.approx(
+        scalar_stats.mean_step_latency_s
+    )
+
+
+def test_exchange_many_zero_steps():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    result = session.exchange_many(1000.0, 1000.0, 0)
+    assert len(result) == 0
+    assert session.statistics.steps == 0
+    with pytest.raises(ValueError):
+        session.exchange_many(1000.0, 1000.0, -1)
+
+
+# -- streaming statistics ------------------------------------------------------------
+
+
+def test_streaming_statistics_match_numpy_moments():
+    payload = payload_for_success_probability(0.3)
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=17, history_limit=200)
+    steps = [session.exchange(payload, payload) for _ in range(150)]
+    slots = np.array([step.total_slots for step in steps])
+    latency = np.array([step.total_elapsed_s for step in steps])
+    stats = session.statistics
+    assert stats.steps == 150
+    assert stats.mean_slots_per_step == pytest.approx(slots.mean())
+    assert stats.slots_variance == pytest.approx(slots.var())
+    assert stats.slots_std == pytest.approx(slots.std())
+    assert stats.mean_step_latency_s == pytest.approx(latency.mean())
+    assert stats.latency_std_s == pytest.approx(latency.std())
+    assert stats.total_elapsed_s == pytest.approx(latency.sum())
+
+
+def test_statistics_snapshot_is_independent():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    session.exchange(1000.0, 1000.0)
+    snapshot = session.statistics.snapshot()
+    session.exchange(1000.0, 1000.0)
+    assert snapshot.steps == 1
+    assert session.statistics.steps == 2
+
+
+def test_statistics_merge_matches_single_run():
+    payload = payload_for_success_probability(0.4)
+    combined = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=8)
+    for _ in range(40):
+        combined.exchange(payload, payload)
+
+    split_a, split_b = ArqStatistics(), ArqStatistics()
+    replay = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=8, history_limit=0)
+    for index in range(40):
+        step = replay.exchange(payload, payload)
+        (split_a if index < 13 else split_b).record(step)
+    merged = split_a.merge(split_b)
+    reference = combined.statistics
+    assert merged.steps == reference.steps
+    assert merged.uplink_slots == reference.uplink_slots
+    assert merged.mean_slots_per_step == pytest.approx(reference.mean_slots_per_step)
+    assert merged.slots_variance == pytest.approx(reference.slots_variance)
+    assert merged.latency_variance_s2 == pytest.approx(reference.latency_variance_s2)
+    # Merging with an empty side is the identity.
+    assert ArqStatistics().merge(reference).mean_slots_per_step == pytest.approx(
+        reference.mean_slots_per_step
+    )
+    assert reference.merge(ArqStatistics()).steps == reference.steps
+
+
+def test_statistics_as_dict_round_trips_to_json():
+    import json
+
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    session.exchange(1000.0, 1000.0)
+    payload = json.loads(json.dumps(session.statistics.as_dict()))
+    assert payload["steps"] == 1
+    assert payload["mean_slots_per_step"] >= 2.0
+
+
+def test_history_ring_buffer_is_bounded():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0, history_limit=4)
+    for _ in range(10):
+        session.exchange(1000.0, 1000.0)
+    assert len(session.history) == 4
+    assert session.statistics.steps == 10  # aggregates see every step
+    session.reset_statistics()
+    assert session.history == []
+    assert session.statistics.steps == 0
+    with pytest.raises(ValueError):
+        ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0, history_limit=-1)

@@ -89,3 +89,46 @@ def test_expected_latency_consistent_with_probability(payload_bits):
     else:
         expected = PAPER_CHANNEL_PARAMS.slot_duration_s / probability
         assert latency == pytest.approx(expected, rel=1e-9)
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1.0, exclude_max=False),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_geometric_slots_are_positive_integers(probability, seed):
+    from repro.channel import slots_from_fading
+
+    draws = np.random.default_rng(seed).exponential(1.0, size=16)
+    slots = slots_from_fading(draws, probability)
+    assert np.all(slots >= 1.0)
+    assert np.array_equal(slots, np.floor(slots))
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.floats(min_value=1e3, max_value=1e6),
+)
+@settings(max_examples=40, deadline=None)
+def test_capped_transmissions_respect_the_budget(cap, seed, payload_bits):
+    from repro.channel import WirelessLink
+
+    link = WirelessLink(
+        params=PAPER_CHANNEL_PARAMS,
+        direction="uplink",
+        max_retransmissions=cap,
+        seed=seed,
+    )
+    batch = link.transmit_many(payload_bits, 32)
+    assert np.all(batch.slots_used >= 1)
+    assert np.all(batch.slots_used <= cap + 1)
+    from repro.channel import INFEASIBLE_SUCCESS_PROBABILITY
+
+    if link.success_probability(payload_bits) >= INFEASIBLE_SUCCESS_PROBABILITY:
+        # Simulated failures consume exactly the full retry budget ...
+        assert np.all(batch.slots_used[~batch.success] == cap + 1)
+    else:
+        # ... while declared-infeasible payloads are one-slot failures.
+        assert not batch.success.any()
+        assert np.all(batch.slots_used == 1)

@@ -93,6 +93,28 @@ def test_physically_identical_scenarios_run_once(sweep_cache_dir):
         unregister("baseline_clone")
 
 
+def test_sweep_fig3a_metrics_include_communication(sweep_cache_dir):
+    """Schema v2: fig3a cells carry the streaming ARQ accounting per scheme."""
+    artifact = run_sweep(
+        smoke_sweep_config(
+            sweep_cache_dir,
+            scenarios=("paper_baseline",),
+            seeds=(0,),
+            experiment="fig3a",
+        )
+    )
+    metrics = artifact["scenarios"]["paper_baseline"]["cells"][0]["metrics"]
+    # Every communicating scheme reports slots/latency; at least one slot per
+    # direction per step.
+    assert metrics["img+rf-4x4/comm_mean_slots_per_step"] >= 2.0
+    assert metrics["img+rf-4x4/comm_mean_step_latency_s"] >= 2e-3
+    assert metrics["img+rf-4x4/comm_downlink_skipped"] == 0.0
+    assert metrics["img+rf-4x4/lost_steps"] == 0.0
+    # The RF-only baseline never communicates: no comm_* keys, only lost_steps.
+    assert metrics["rf-only/lost_steps"] == 0.0
+    assert not any(key.startswith("rf-only/comm_") for key in metrics)
+
+
 def test_sweep_artifact_schema(sweep_cache_dir, tmp_path):
     output = tmp_path / "artifacts" / "sweep.json"
     artifact = run_sweep(

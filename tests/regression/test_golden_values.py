@@ -2,18 +2,24 @@
 
 These constants were produced by the implementation at the time this test was
 written and are trusted as the reference physics.  They exist so that
-refactors of :mod:`repro.mmwave`, :mod:`repro.scene` and
-:mod:`repro.dataset` cannot *silently* shift the simulated measurements: any
-intentional physics change must update the constants here, in a commit that
-says so.
+refactors of :mod:`repro.mmwave`, :mod:`repro.scene`, :mod:`repro.dataset`
+and :mod:`repro.channel` cannot *silently* shift the simulated measurements:
+any intentional physics change must update the constants here, in a commit
+that says so.
 
 Closed-form quantities are pinned tightly (1e-9); RNG-backed traces are pinned
 at 1e-7, which numpy's stream-stability guarantees comfortably satisfy while
 absorbing last-ulp differences across BLAS builds.
+
+The channel goldens were re-pinned when the ARQ moved from the per-slot retry
+loop to O(1) geometric sampling: the slot distributions are statistically
+identical, but each payload now consumes exactly one fading draw instead of
+one per slot, so seeded slot *sequences* differ from pre-geometric builds.
 """
 import numpy as np
 import pytest
 
+from repro.channel import ArqSession, PAPER_CHANNEL_PARAMS, WirelessLink
 from repro.dataset.generator import generate_small_dataset
 from repro.mmwave.propagation import (
     LinkBudget,
@@ -95,6 +101,36 @@ def test_seeded_power_trace_golden(periodic_scene):
     assert trace[:5] == pytest.approx(expected_head, **RNG_TOL)
     assert float(trace.mean()) == pytest.approx(-27.367837998022036, **RNG_TOL)
     assert float(trace.std()) == pytest.approx(4.252968834124445, **RNG_TOL)
+
+
+# -- channel / ARQ ------------------------------------------------------------------
+
+#: Payload sized for a 50% per-slot uplink success probability under the
+#: paper's channel parameters (threshold = mean_snr * ln 2).
+GOLDEN_HALF_PROBABILITY_PAYLOAD_BITS = (
+    1e-3 * 30e6 * np.log2(1.0 + PAPER_CHANNEL_PARAMS.mean_snr("uplink") * np.log(2.0))
+)
+
+
+def test_geometric_link_slot_sequence_golden():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=123)
+    slots = [
+        link.transmit(GOLDEN_HALF_PROBABILITY_PAYLOAD_BITS).slots_used
+        for _ in range(12)
+    ]
+    assert slots == [1, 2, 1, 1, 1, 1, 1, 1, 1, 2, 1, 1]
+
+
+def test_arq_session_exchange_sequence_golden():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=2024)
+    payload = GOLDEN_HALF_PROBABILITY_PAYLOAD_BITS
+    steps = [session.exchange(payload, payload) for _ in range(8)]
+    assert [step.uplink.slots_used for step in steps] == [5, 1, 2, 1, 3, 1, 1, 2]
+    assert [step.downlink.slots_used for step in steps] == [1] * 8
+    statistics = session.statistics
+    assert statistics.mean_slots_per_step == CLOSED_FORM(3.0, rel=1e-9)
+    assert statistics.mean_step_latency_s == CLOSED_FORM(0.003, rel=1e-9)
+    assert statistics.slots_std == pytest.approx(1.3228756555322951, **RNG_TOL)
 
 
 # -- dataset generation -------------------------------------------------------------

@@ -148,6 +148,27 @@ def test_protocol_predict_shapes_and_modes(model_config, training_config, gen):
         protocol.predict(images, None)
 
 
+def test_protocol_predict_restores_prior_mode(model_config, training_config, gen):
+    """predict() must not silently re-enter training mode from eval mode."""
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    images, powers, _ = make_batch(gen, batch=6)
+
+    assert protocol.training_mode  # protocols start in training mode
+    protocol.predict(images, powers, batch_size=3)
+    assert protocol.training_mode  # restored after predicting
+    assert protocol.bs.rnn.training and protocol.ue.cnn.training
+
+    protocol.eval()
+    protocol.predict(images, powers, batch_size=3)
+    assert not protocol.training_mode  # eval mode survives predict()
+    assert not protocol.bs.rnn.training and not protocol.ue.cnn.training
+
+    protocol.train()
+    assert protocol.training_mode
+
+
 def test_protocol_predict_independent_of_batch_size(
     model_config, training_config, gen
 ):
@@ -185,6 +206,39 @@ def test_trainer_fit_records_learning_curve(tiny_experiment_config, small_split)
     assert history.best_rmse_db <= history.records[0].validation_rmse_db + 1e-9
     assert history.communication is not None
     assert history.communication.steps == sum(r.steps - r.lost_steps for r in history.records) + sum(r.lost_steps for r in history.records)
+
+
+def test_trainer_second_fit_does_not_mutate_first_history(
+    tiny_experiment_config, small_split
+):
+    """Each fit() gets its own communication snapshot, reset at fit start."""
+    trainer = SplitTrainer(tiny_experiment_config)
+    first = trainer.fit(small_split.train, small_split.validation)
+    first_steps = first.communication.steps
+    first_slots = first.communication.uplink_slots
+    assert first_steps > 0
+
+    second = trainer.fit(small_split.train, small_split.validation)
+    # The first run's history must be untouched by the second fit ...
+    assert first.communication.steps == first_steps
+    assert first.communication.uplink_slots == first_slots
+    # ... and the second run's statistics start from zero, not accumulate.
+    expected_steps = sum(r.steps for r in second.records)
+    assert second.communication.steps == expected_steps
+    assert second.communication is not first.communication
+
+
+def test_trainer_history_communication_is_a_snapshot(
+    tiny_experiment_config, small_split
+):
+    trainer = SplitTrainer(tiny_experiment_config)
+    history = trainer.fit(small_split.train, small_split.validation)
+    live = trainer.protocol.arq.statistics
+    assert history.communication is not live
+    live_steps = live.steps
+    trainer.protocol.arq.exchange(1000.0, 1000.0)
+    assert trainer.protocol.arq.statistics.steps == live_steps + 1
+    assert history.communication.steps == live_steps
 
 
 def test_trainer_predict_dbm_scale(tiny_experiment_config, small_split):

@@ -1,0 +1,86 @@
+"""Fleet benchmarks: parallel-average rounds must scale sublinearly in N.
+
+A rotation round is N serial turns, so its simulated duration grows linearly
+with the fleet.  A parallel-average round amortizes compute (UEs run in
+parallel, the shared BS steps once on the concatenated batch) and pays only
+the serialized communication per extra UE, so doubling the fleet must cost
+strictly less than doubling the round time.  The bar asserted here:
+
+    T_round(2N) < 2 * T_round(N)            (parallel-average mode)
+
+measured on the simulated, medium-occupancy-accurate clock at the selected
+benchmark scale (``REPRO_BENCH_SCALE``, default fast).  The rotation round is
+reported alongside as the linear baseline.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fleet import FleetConfig, FleetTrainer
+from repro.split import ExperimentConfig
+
+#: Doubling the fleet must beat doubling the round time by at least this
+#: margin (T(2N) <= SUBLINEAR_MARGIN * 2 * T(N)).
+SUBLINEAR_MARGIN = 0.95
+
+
+@dataclass
+class FleetRow:
+    mode: str
+    num_ues: int
+    round_duration_s: float
+    medium_occupancy: float
+
+
+def _one_round(config: ExperimentConfig, split, mode: str, num_ues: int) -> FleetRow:
+    trainer = FleetTrainer(config, FleetConfig(num_ues=num_ues, mode=mode))
+    history = trainer.fit(split.train, split.validation, max_rounds=1)
+    record = history.records[0]
+    return FleetRow(
+        mode=mode,
+        num_ues=num_ues,
+        round_duration_s=record.round_duration_s,
+        medium_occupancy=record.medium_occupancy,
+    )
+
+
+def test_parallel_average_round_time_sublinear_in_fleet_size(scale, bench_split):
+    split = bench_split
+    config = ExperimentConfig.for_scenario(
+        scale.scenario,
+        model=scale.base_model_config(),
+        training=scale.training_config(),
+    )
+    counts = (2, 4, 8)
+    rows: List[FleetRow] = []
+    for num_ues in counts:
+        rows.append(_one_round(config, split, "parallel_average", num_ues))
+        rows.append(_one_round(config, split, "rotation", num_ues))
+
+    print()
+    print(f"{'mode':<17s} {'N':>3s} {'round [s]':>10s} {'occupancy':>10s}")
+    for row in rows:
+        print(
+            f"{row.mode:<17s} {row.num_ues:>3d} "
+            f"{row.round_duration_s:>10.4f} {row.medium_occupancy:>10.3f}"
+        )
+
+    parallel = {
+        row.num_ues: row.round_duration_s
+        for row in rows
+        if row.mode == "parallel_average"
+    }
+    rotation = {
+        row.num_ues: row.round_duration_s for row in rows if row.mode == "rotation"
+    }
+    for small, large in ((2, 4), (4, 8)):
+        ratio = parallel[large] / parallel[small]
+        assert ratio < 2.0 * SUBLINEAR_MARGIN, (
+            f"parallel-average round time scaled superlinearly: "
+            f"T({large}) / T({small}) = {ratio:.2f}"
+        )
+    # Sanity: a parallel-average round never costs more than the serial
+    # rotation round over the same number of member-steps.
+    for num_ues in counts:
+        assert parallel[num_ues] < rotation[num_ues]

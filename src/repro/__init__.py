@@ -11,20 +11,23 @@ The package is organized as:
 * :mod:`repro.channel` — the wireless link carrying the split-learning
   cut-layer traffic;
 * :mod:`repro.split` — the core multimodal split-learning framework;
+* :mod:`repro.fleet` — multi-UE fleets: shared-medium scheduling and
+  federated split training (rotation and parallel-average modes);
 * :mod:`repro.privacy` — MDS-based privacy-leakage metrics;
 * :mod:`repro.scenarios` — named, frozen environment presets and registry;
 * :mod:`repro.experiments` — runners for every figure and table of the paper,
   plus the multi-scenario / multi-seed sweep orchestrator.
 """
-from repro import channel, dataset, experiments, mmwave, nn, privacy, scenarios, scene, split, utils
+from repro import channel, dataset, experiments, fleet, mmwave, nn, privacy, scenarios, scene, split, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "channel",
     "dataset",
     "experiments",
+    "fleet",
     "mmwave",
     "nn",
     "privacy",

@@ -354,13 +354,41 @@ class ArqSession:
         A failed uplink means the BS never computed gradients, so the step
         costs only the uplink slots and ``downlink`` is ``None``.
         """
-        uplink_result = self.uplink.transmit(uplink_payload_bits)
+        uplink_result = self.transmit_uplink(uplink_payload_bits)
         downlink_result = (
-            self.downlink.transmit(downlink_payload_bits)
+            self.transmit_downlink(downlink_payload_bits)
             if uplink_result.success
             else None
         )
-        step = StepCommunication(uplink=uplink_result, downlink=downlink_result)
+        return self.record_exchange(uplink_result, downlink_result)
+
+    def transmit_uplink(self, payload_bits: float) -> TransmissionResult:
+        """Uplink half of an exchange, *without* recording statistics.
+
+        The fleet medium scheduler transmits the two directions of every UE
+        separately (it interleaves many sessions onto one medium between the
+        phases) and folds the outcomes back in via :meth:`record_exchange`.
+        """
+        return self.uplink.transmit(payload_bits)
+
+    def transmit_downlink(self, payload_bits: float) -> TransmissionResult:
+        """Downlink half of an exchange, *without* recording statistics."""
+        return self.downlink.transmit(payload_bits)
+
+    def record_exchange(
+        self,
+        uplink: TransmissionResult,
+        downlink: Optional[TransmissionResult],
+    ) -> StepCommunication:
+        """Fold an externally assembled uplink/downlink pair into the session.
+
+        Callers that schedule transmissions on a shared medium pass results
+        whose ``elapsed_s`` reflects the medium completion time (own slots
+        plus queueing behind other UEs); ``slots_used`` always stays the
+        session's own slot demand, so slot statistics measure medium load
+        while latency statistics measure experienced delay.
+        """
+        step = StepCommunication(uplink=uplink, downlink=downlink)
         self.statistics.record(step)
         self._recent.append(step)
         return step

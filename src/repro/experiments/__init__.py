@@ -45,6 +45,9 @@ from repro.experiments.table1_privacy_success import (
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "FLEET_ARTIFACT_SCHEMA_VERSION",
+    "FleetScalingResult",
+    "run_fleet_scaling",
     "BandwidthSweepRow",
     "BlockageComparisonResult",
     "ExperimentScale",
@@ -86,22 +89,29 @@ __all__ = [
     "write_artifact",
 ]
 
-# Sweep-orchestrator names are exported lazily (PEP 562) so that running the
-# CLI as ``python -m repro.experiments.sweep`` does not trip the runpy
-# "found in sys.modules" warning by importing the module during package init.
-_SWEEP_EXPORTS = (
-    "ARTIFACT_SCHEMA_VERSION",
-    "SweepConfig",
-    "format_summary",
-    "register_experiment",
-    "run_sweep",
-    "write_artifact",
-)
+# Sweep-orchestrator and fleet-scaling names are exported lazily (PEP 562) so
+# that running their CLIs as ``python -m repro.experiments.sweep`` /
+# ``python -m repro.experiments.fig_fleet_scaling`` does not trip the runpy
+# "found in sys.modules" warning by importing the modules during package init.
+_LAZY_EXPORTS = {
+    "ARTIFACT_SCHEMA_VERSION": "sweep",
+    "SweepConfig": "sweep",
+    "format_summary": "sweep",
+    "register_experiment": "sweep",
+    "run_sweep": "sweep",
+    "write_artifact": "sweep",
+    "FLEET_ARTIFACT_SCHEMA_VERSION": "fig_fleet_scaling",
+    "FleetScalingResult": "fig_fleet_scaling",
+    "run_fleet_scaling": "fig_fleet_scaling",
+}
 
 
 def __getattr__(name):
-    if name in _SWEEP_EXPORTS:
-        from repro.experiments import sweep
+    if name in _LAZY_EXPORTS:
+        import importlib
 
-        return getattr(sweep, name)
+        module = importlib.import_module(
+            f"repro.experiments.{_LAZY_EXPORTS[name]}"
+        )
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -37,6 +37,7 @@ from repro.experiments.common import ExperimentScale, prepare_split, scale_from_
 from repro.experiments.fig2_feature_maps import run_fig2
 from repro.experiments.fig3a_learning_curves import run_fig3a
 from repro.experiments.fig3b_power_prediction import run_fig3b
+from repro.experiments.fig_fleet_scaling import run_fleet_scaling
 from repro.experiments.table1_privacy_success import run_table1
 from repro.scenarios import get_scenario, scenario_names
 from repro.utils.logging import get_logger
@@ -111,10 +112,33 @@ def _metrics_table1(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[
     return metrics
 
 
+def _metrics_fleet(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
+    split = prepare_split(scale, dataset)
+    result = run_fleet_scaling(scale, split=split, ue_counts=(1, 2, 4))
+    metrics: Dict[str, float] = {}
+    for (mode, num_ues), history in result.histories.items():
+        prefix = f"{mode}/n{num_ues}"
+        metrics[f"{prefix}/final_rmse_db"] = float(history.final_rmse_db)
+        metrics[f"{prefix}/best_rmse_db"] = float(history.best_rmse_db)
+        metrics[f"{prefix}/elapsed_s"] = float(history.total_elapsed_s)
+        metrics[f"{prefix}/rounds"] = float(len(history.records))
+        metrics[f"{prefix}/medium_occupancy"] = float(history.medium_occupancy)
+        communication = history.communication
+        if communication is not None and communication.steps:
+            metrics[f"{prefix}/comm_mean_slots_per_step"] = float(
+                communication.mean_slots_per_step
+            )
+            metrics[f"{prefix}/comm_mean_step_latency_s"] = float(
+                communication.mean_step_latency_s
+            )
+    return metrics
+
+
 EXPERIMENTS: Dict[str, MetricFn] = {
     "fig2": _metrics_fig2,
     "fig3a": _metrics_fig3a,
     "fig3b": _metrics_fig3b,
+    "fleet": _metrics_fleet,
     "table1": _metrics_table1,
 }
 

@@ -1,0 +1,51 @@
+"""Multi-UE fleet subsystem: shared-medium scheduling and federated split training.
+
+The paper's protocol is one UE against one BS.  This package scales it to
+*fleets*: N :class:`~repro.split.ue.UEClient`s with independent, placement-
+jittered channels share one BS and one slotted medium.  A
+:class:`MediumScheduler` serializes the concurrent cut-layer traffic so fleet
+wall-clock time is medium-occupancy-accurate, and :class:`FleetTrainer`
+supports classic rotation split learning plus splitfed-style parallel
+averaging.  A fleet of one reproduces the single-UE trainer draw for draw.
+"""
+from repro.fleet.config import (
+    FLEET_MODES,
+    PARALLEL_AVERAGE,
+    ROTATION,
+    FleetConfig,
+)
+from repro.fleet.fleet import (
+    FLEET_STREAM_SALT,
+    FleetMember,
+    UEFleet,
+    shard_indices,
+)
+from repro.fleet.scheduler import (
+    SCHEDULERS,
+    MediumScheduler,
+    ProportionalScheduler,
+    RoundRobinScheduler,
+    ScheduleResult,
+    scheduler_from_name,
+)
+from repro.fleet.trainer import FleetHistory, FleetRoundRecord, FleetTrainer
+
+__all__ = [
+    "FLEET_MODES",
+    "FLEET_STREAM_SALT",
+    "FleetConfig",
+    "FleetHistory",
+    "FleetMember",
+    "FleetRoundRecord",
+    "FleetTrainer",
+    "MediumScheduler",
+    "PARALLEL_AVERAGE",
+    "ProportionalScheduler",
+    "ROTATION",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "ScheduleResult",
+    "UEFleet",
+    "scheduler_from_name",
+    "shard_indices",
+]

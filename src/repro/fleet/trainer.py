@@ -1,0 +1,456 @@
+"""Federated split training of a UE fleet over one shared medium.
+
+``FleetTrainer`` drives an :class:`~repro.fleet.fleet.UEFleet` through rounds
+of split learning in one of two modes:
+
+* **rotation** — classic split learning.  The members take turns: the logical
+  UE model is handed client-to-client (``state_dict`` copy), and the member
+  whose turn it is trains alone for ``steps_per_turn`` SGD steps, exactly
+  like the paper's single-UE protocol.  The medium is uncontended during a
+  turn, so with ``N=1`` the trainer reproduces
+  :class:`~repro.split.trainer.SplitTrainer` *draw for draw* — the
+  correctness anchor of the subsystem.
+
+* **parallel_average** — splitfed-style.  Every member steps each round:
+  clients run their CNN forward in parallel, the medium scheduler serializes
+  all uplink payloads onto the shared channel, the single shared BS RNN steps
+  *once* on the concatenated batch, the gradients are scattered back over the
+  scheduled downlinks, and after each round the client CNN weights are
+  averaged and re-broadcast.  A round processes N minibatches for one BS
+  computation plus the serialized communication, which is where the sublinear
+  round-time scaling comes from.
+
+Simulated wall-clock accounting is medium-occupancy-accurate: compute runs in
+parallel across UEs, communication is serialized, and every round records the
+fraction of its duration the medium was busy.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.arq import ArqStatistics
+from repro.dataset.sequences import SequenceDataset
+from repro.fleet.config import PARALLEL_AVERAGE, ROTATION, FleetConfig
+from repro.fleet.fleet import FleetMember, UEFleet, shard_indices
+from repro.fleet.scheduler import MediumScheduler, scheduler_from_name
+from repro.nn.metrics import root_mean_squared_error
+from repro.split.config import ExperimentConfig
+from repro.split.normalization import PowerNormalizer
+from repro.split.trainer import (
+    LearningCurveMixin,
+    normalized_training_inputs,
+    predict_sequences_dbm,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("fleet.trainer")
+
+
+@dataclass
+class FleetRoundRecord:
+    """One point of the fleet learning curve.
+
+    Attributes:
+        round: 1-based round index (== epoch for an N=1 rotation fleet).
+        elapsed_s: cumulative simulated wall-clock time after the round.
+        round_duration_s: simulated duration of this round alone.
+        train_loss: mean minibatch loss over the round's updated steps.
+        validation_rmse_db: validation RMSE after the round.
+        steps: SGD member-steps attempted this round.
+        lost_steps: member-steps lost to undecodable payloads.
+        medium_busy_s: time the shared medium carried slots this round.
+        medium_occupancy: ``medium_busy_s / round_duration_s``.
+    """
+
+    round: int
+    elapsed_s: float
+    round_duration_s: float
+    train_loss: float
+    validation_rmse_db: float
+    steps: int
+    lost_steps: int
+    medium_busy_s: float
+    medium_occupancy: float
+
+
+@dataclass
+class FleetHistory(LearningCurveMixin):
+    """Full record of one fleet training run.
+
+    The learning-curve metric helpers (``final_rmse_db``, ``best_rmse_db``,
+    ``elapsed_times_s``, ``validation_rmse_curve_db``, ``time_to_reach_db``)
+    come from the mixin shared with ``TrainingHistory``.
+    """
+
+    scheme: str
+    num_ues: int
+    mode: str
+    scheduler: str
+    records: List[FleetRoundRecord] = field(default_factory=list)
+    reached_target: bool = False
+    total_elapsed_s: float = 0.0
+    medium_busy_s: float = 0.0
+    communication: Optional[ArqStatistics] = None
+    per_ue_communication: List[ArqStatistics] = field(default_factory=list)
+
+    @property
+    def medium_occupancy(self) -> float:
+        """Run-level medium occupancy: busy time over total simulated time."""
+        if self.total_elapsed_s <= 0:
+            return 0.0
+        return self.medium_busy_s / self.total_elapsed_s
+
+
+class FleetTrainer:
+    """Trains a fleet of UE clients against one shared BS.
+
+    Args:
+        config: base experiment configuration (model, training protocol and
+            the nominal SL channel; must include the image branch).
+        fleet_config: fleet size, mode, scheduler and placement jitter.
+    """
+
+    def __init__(self, config: ExperimentConfig, fleet_config: FleetConfig):
+        self.config = config
+        self.fleet_config = fleet_config
+        self.fleet = UEFleet(config, fleet_config)
+        self.scheduler: MediumScheduler = scheduler_from_name(
+            fleet_config.scheduler
+        )
+        self.normalizer: Optional[PowerNormalizer] = None
+
+    # -- data preparation -------------------------------------------------------------
+    def _prepare_inputs(self, sequences: SequenceDataset):
+        """Normalize powers and targets exactly like ``SplitTrainer``."""
+        assert self.normalizer is not None
+        return normalized_training_inputs(
+            self.config.model, self.normalizer, sequences
+        )
+
+    def _draw_batch(
+        self,
+        member: FleetMember,
+        shard: np.ndarray,
+        batch_size: int,
+        images: np.ndarray,
+        powers: Optional[np.ndarray],
+        targets: np.ndarray,
+    ):
+        """One minibatch from a member's shard, drawn with its own stream."""
+        local = member.batch_rng.choice(len(shard), size=batch_size, replace=False)
+        indices = shard[local]
+        return (
+            images[indices],
+            powers[indices] if powers is not None else None,
+            targets[indices],
+        )
+
+    # -- training ---------------------------------------------------------------------
+    def fit(
+        self,
+        train: SequenceDataset,
+        validation: SequenceDataset,
+        max_rounds: Optional[int] = None,
+    ) -> FleetHistory:
+        """Train until the validation RMSE target or the round budget is hit."""
+        training = self.config.training
+        fleet_config = self.fleet_config
+        if max_rounds is None:
+            max_rounds = (
+                fleet_config.max_rounds
+                if fleet_config.max_rounds is not None
+                else training.max_epochs
+            )
+        steps_per_turn = (
+            fleet_config.steps_per_turn
+            if fleet_config.steps_per_turn is not None
+            else training.steps_per_epoch
+        )
+
+        self.normalizer = PowerNormalizer.fit(train.power_sequences, train.targets)
+        images, powers, targets = self._prepare_inputs(train)
+        shards = shard_indices(len(train), self.fleet.num_ues)
+        batch_sizes = [
+            min(training.batch_size, len(shard)) for shard in shards
+        ]
+        self.fleet.reset_statistics()
+
+        history = FleetHistory(
+            scheme=self.config.model.describe(),
+            num_ues=self.fleet.num_ues,
+            mode=fleet_config.mode,
+            scheduler=fleet_config.scheduler,
+        )
+        elapsed_s = 0.0
+        busy_total_s = 0.0
+        for round_index in range(1, max_rounds + 1):
+            if fleet_config.mode == ROTATION:
+                losses, lost, duration, busy, steps = self._rotation_round(
+                    shards, batch_sizes, steps_per_turn, images, powers, targets
+                )
+            else:
+                losses, lost, duration, busy, steps = self._parallel_round(
+                    shards, batch_sizes, steps_per_turn, images, powers, targets
+                )
+            elapsed_s += duration
+            busy_total_s += busy
+
+            validation_rmse = self.evaluate(validation)
+            record = FleetRoundRecord(
+                round=round_index,
+                elapsed_s=elapsed_s,
+                round_duration_s=duration,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                validation_rmse_db=validation_rmse,
+                steps=steps,
+                lost_steps=lost,
+                medium_busy_s=busy,
+                medium_occupancy=busy / duration if duration > 0 else 0.0,
+            )
+            history.records.append(record)
+            logger.debug(
+                "fleet N=%d %s round %d: elapsed %.2fs, occupancy %.3f, "
+                "val RMSE %.2f dB",
+                self.fleet.num_ues,
+                fleet_config.mode,
+                round_index,
+                elapsed_s,
+                record.medium_occupancy,
+                validation_rmse,
+            )
+            if validation_rmse <= training.target_rmse_db:
+                history.reached_target = True
+                break
+
+        history.total_elapsed_s = elapsed_s
+        history.medium_busy_s = busy_total_s
+        history.per_ue_communication = [
+            member.arq.statistics.snapshot()
+            for member in self.fleet
+            if member.arq is not None
+        ]
+        history.communication = self.fleet.merged_statistics()
+        return history
+
+    # -- rotation mode ----------------------------------------------------------------
+    def _rotation_round(
+        self,
+        shards: Sequence[np.ndarray],
+        batch_sizes: Sequence[int],
+        steps_per_turn: int,
+        images: np.ndarray,
+        powers: Optional[np.ndarray],
+        targets: np.ndarray,
+    ) -> Tuple[List[float], int, float, float, int]:
+        """One rotation round: each member trains alone during its turn."""
+        losses: List[float] = []
+        lost = 0
+        duration = 0.0
+        busy = 0.0
+        steps = 0
+        for member, shard, batch_size in zip(self.fleet, shards, batch_sizes):
+            self.fleet.hand_off_to(member.index)
+            for _ in range(steps_per_turn):
+                image_batch, power_batch, target_batch = self._draw_batch(
+                    member, shard, batch_size, images, powers, targets
+                )
+                result = member.protocol.training_step(
+                    image_batch, power_batch, target_batch
+                )
+                duration += result.elapsed_s
+                if result.communication is not None:
+                    busy += result.communication.total_elapsed_s
+                if result.updated:
+                    losses.append(result.loss)
+                else:
+                    lost += 1
+                steps += 1
+        return losses, lost, duration, busy, steps
+
+    # -- parallel-average mode --------------------------------------------------------
+    def _parallel_round(
+        self,
+        shards: Sequence[np.ndarray],
+        batch_sizes: Sequence[int],
+        steps_per_turn: int,
+        images: np.ndarray,
+        powers: Optional[np.ndarray],
+        targets: np.ndarray,
+    ) -> Tuple[List[float], int, float, float, int]:
+        """One parallel-average round: joint steps, then weight averaging."""
+        losses: List[float] = []
+        lost = 0
+        duration = 0.0
+        busy = 0.0
+        steps = 0
+        for _ in range(steps_per_turn):
+            batches = [
+                self._draw_batch(member, shard, batch_size, images, powers, targets)
+                for member, shard, batch_size in zip(
+                    self.fleet, shards, batch_sizes
+                )
+            ]
+            loss, step_lost, step_duration, step_busy = self._joint_step(batches)
+            duration += step_duration
+            busy += step_busy
+            lost += step_lost
+            steps += self.fleet.num_ues
+            if loss is not None:
+                losses.append(loss)
+        self.fleet.average_ue_weights()
+        return losses, lost, duration, busy, steps
+
+    def _joint_step(
+        self, batches
+    ) -> Tuple[Optional[float], int, float, float]:
+        """One synchronized step of every member over the shared medium.
+
+        Returns ``(joint loss or None, lost member-steps, simulated duration,
+        medium busy time)``.
+        """
+        training = self.config.training
+        tau = self.fleet.slot_duration_s
+        members = self.fleet.members
+
+        # Compute phase: every UE runs its CNN forward in parallel, so the
+        # fleet pays the per-step UE compute time once, not N times.
+        duration = training.ue_compute_time_s
+        phases = [
+            member.protocol.begin_step(image_batch)
+            for member, (image_batch, _, _) in zip(members, batches)
+        ]
+
+        # Uplink phase: every member's own session draws its slot demand; the
+        # scheduler serializes the demands onto the one shared medium.
+        uplinks = [
+            member.arq.transmit_uplink(phase.uplink_payload_bits)
+            for member, phase in zip(members, phases)
+        ]
+        uplink_schedule = self.scheduler.schedule(
+            [result.slots_used for result in uplinks],
+            payload_bits=[phase.uplink_payload_bits for phase in phases],
+        )
+        uplink_completions = uplink_schedule.completion_times_s(tau)
+        uplink_busy = uplink_schedule.busy_time_s(tau)
+        duration += uplink_busy
+        busy = uplink_busy
+
+        # The BS compute slot is charged once per joint step whether or not
+        # any uplink decodes — matching the single-UE protocol, which charges
+        # bs_compute_time_s on lost steps too.
+        duration += training.bs_compute_time_s
+        decoded = [
+            index for index, result in enumerate(uplinks) if result.success
+        ]
+        loss_value: Optional[float] = None
+        downlinks = {}
+        downlink_completions = {}
+        if decoded:
+            # One shared BS step on the concatenated batch of every decoded
+            # member: the RNN forward/backward runs once per joint step.
+            features = np.concatenate(
+                [phases[index].features for index in decoded], axis=0
+            )
+            rf_batch = (
+                np.concatenate([batches[index][1] for index in decoded], axis=0)
+                if self.config.model.use_rf
+                else None
+            )
+            target_batch = np.concatenate(
+                [batches[index][2] for index in decoded], axis=0
+            )
+            loss_value, cut_gradient = self.fleet.bs.compute_loss_and_gradients(
+                features, rf_batch, target_batch
+            )
+
+            # Downlink phase (gated per member on its own uplink).
+            attempts = [
+                members[index].arq.transmit_downlink(
+                    phases[index].downlink_payload_bits
+                )
+                for index in decoded
+            ]
+            downlink_schedule = self.scheduler.schedule(
+                [result.slots_used for result in attempts],
+                payload_bits=[
+                    phases[index].downlink_payload_bits for index in decoded
+                ],
+            )
+            completions = downlink_schedule.completion_times_s(tau)
+            downlink_busy = downlink_schedule.busy_time_s(tau)
+            duration += downlink_busy
+            busy += downlink_busy
+            downlinks = dict(zip(decoded, attempts))
+            downlink_completions = dict(zip(decoded, completions))
+
+            # Scatter the cut-layer gradients back to the members whose
+            # downlink was decoded; the rest lose their client-side update.
+            offset = 0
+            for index in decoded:
+                batch_length = len(batches[index][2])
+                member_slice = cut_gradient[offset : offset + batch_length]
+                offset += batch_length
+                if downlinks[index].success:
+                    members[index].ue.backward(member_slice)
+                    members[index].ue.apply_update()
+                else:
+                    members[index].ue.zero_grad()
+            # The BS updates only when the round delivered at least one
+            # gradient payload: a joint step whose every downlink failed is
+            # wholly lost, matching the single-UE protocol where a failed
+            # exchange aborts the step before any update.  (With partial
+            # downlink failures the BS gradient still includes the failed
+            # members' batches — their data reached the BS; only their
+            # client-side update is lost.)
+            if any(downlinks[index].success for index in decoded):
+                self.fleet.bs.apply_update()
+            else:
+                self.fleet.bs.zero_grad()
+                loss_value = None
+
+        # Record per-member communication with medium-accurate latency: the
+        # elapsed time of each direction is the member's *completion* time on
+        # the shared medium (own slots plus queueing), while slots_used stays
+        # the member's own demand.
+        lost = 0
+        for index, member in enumerate(members):
+            uplink_result = dataclass_replace(
+                uplinks[index], elapsed_s=float(uplink_completions[index])
+            )
+            downlink_result = None
+            if index in downlinks:
+                downlink_result = dataclass_replace(
+                    downlinks[index],
+                    elapsed_s=float(downlink_completions[index]),
+                )
+            step = member.arq.record_exchange(uplink_result, downlink_result)
+            if not step.success:
+                lost += 1
+                member.protocol.abort_step()
+        return loss_value, lost, duration, busy
+
+    # -- evaluation -------------------------------------------------------------------
+    def predict_dbm(self, sequences: SequenceDataset) -> np.ndarray:
+        """Predict received power in dBm using the current logical model.
+
+        Rotation mode evaluates the member holding the freshest weights;
+        parallel-average mode evaluates member 0 (all members are identical
+        right after the per-round averaging).
+        """
+        if self.normalizer is None:
+            raise RuntimeError("the trainer has not been fitted yet")
+        holder = self.fleet.members[self.fleet.weight_holder]
+        return predict_sequences_dbm(
+            holder.protocol,
+            self.normalizer,
+            sequences,
+            self.config.training.eval_batch_size,
+        )
+
+    def evaluate(self, sequences: SequenceDataset) -> float:
+        """Validation RMSE in dB (predictions and targets in dBm)."""
+        predictions = self.predict_dbm(sequences)
+        return root_mean_squared_error(predictions, sequences.targets)

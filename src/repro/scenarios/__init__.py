@@ -5,6 +5,11 @@ Importing this package registers the built-in presets (``paper_baseline``,
 ``wide_fov_camera``); :func:`register` adds custom ones.
 """
 from repro.scenarios.base import Scenario, scenario_fingerprint
+from repro.scenarios.placement import (
+    DEFAULT_JITTER_FRACTION,
+    fleet_channel_params,
+    fleet_placements,
+)
 from repro.scenarios.presets import (
     DEFAULT_SCENARIOS,
     DENSE_CROWD,
@@ -24,6 +29,7 @@ from repro.scenarios.registry import (
 )
 
 __all__ = [
+    "DEFAULT_JITTER_FRACTION",
     "DEFAULT_SCENARIOS",
     "DENSE_CROWD",
     "FAST_WALKERS",
@@ -33,6 +39,8 @@ __all__ = [
     "Scenario",
     "WIDE_FOV_CAMERA",
     "all_scenarios",
+    "fleet_channel_params",
+    "fleet_placements",
     "get_scenario",
     "register",
     "resolve_scenarios",

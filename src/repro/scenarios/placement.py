@@ -1,0 +1,94 @@
+"""Per-UE placement jitter for fleets, derived from a scenario preset.
+
+A fleet of UEs shares one corridor but its members do not stand in the same
+spot: each UE sees the BS at a slightly different distance, so each UE's
+split-learning link has its own mean SNR.  :func:`fleet_channel_params`
+derives per-UE :class:`~repro.channel.params.WirelessChannelParams` from a
+scenario (or a bare channel parameter set) by jittering the nominal UE-BS
+distance.
+
+UE 0 always keeps the *nominal* placement: a fleet of one is then physically
+identical to the single-UE experiments, which is the correctness anchor of
+the whole fleet subsystem.
+"""
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.channel.params import WirelessChannelParams
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import get_scenario
+
+#: Salt mixed into the jitter seed so placement draws never collide with the
+#: training / channel RNG streams spawned from the same base seed.
+PLACEMENT_SEED_SALT = 0x5F1EE7
+
+#: Default fractional link-distance jitter applied to UEs 1..N-1.
+DEFAULT_JITTER_FRACTION = 0.15
+
+
+def _resolve_channel(
+    source: Union[Scenario, str, WirelessChannelParams],
+) -> WirelessChannelParams:
+    if isinstance(source, WirelessChannelParams):
+        return source
+    return get_scenario(source).channel
+
+
+def fleet_placements(
+    source: Union[Scenario, str, WirelessChannelParams],
+    num_ues: int,
+    jitter_fraction: float = DEFAULT_JITTER_FRACTION,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Per-UE link distances derived from a preset's nominal placement.
+
+    UE 0 stands at the nominal distance; UEs 1..N-1 are placed uniformly in
+    ``nominal * (1 +/- jitter_fraction)``.  Draws are deterministic in
+    ``seed`` and independent of every other RNG stream in the library.
+
+    Args:
+        source: a registered scenario (instance or name) or a bare channel
+            parameter set supplying the nominal distance.
+        num_ues: fleet size ``N``.
+        jitter_fraction: maximum fractional distance deviation (0 puts every
+            UE at the nominal spot).
+        seed: base seed for the jitter draws.
+    """
+    if num_ues < 1:
+        raise ValueError("num_ues must be at least 1")
+    if not 0.0 <= jitter_fraction < 1.0:
+        raise ValueError("jitter_fraction must be in [0, 1)")
+    nominal = _resolve_channel(source).distance_m
+    if num_ues == 1:
+        return (nominal,)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed), PLACEMENT_SEED_SALT])
+    )
+    offsets = rng.uniform(-jitter_fraction, jitter_fraction, size=num_ues - 1)
+    return (nominal, *(float(nominal * (1.0 + offset)) for offset in offsets))
+
+
+def fleet_channel_params(
+    source: Union[Scenario, str, WirelessChannelParams],
+    num_ues: int,
+    jitter_fraction: float = DEFAULT_JITTER_FRACTION,
+    seed: int = 0,
+) -> Tuple[WirelessChannelParams, ...]:
+    """Per-UE SL channel parameter sets with jittered placements.
+
+    UE 0's parameters are the source channel *unchanged* (same object), so a
+    fleet of one reproduces the single-UE channel exactly; the others differ
+    only in ``distance_m`` (and therefore mean SNR).
+    """
+    channel = _resolve_channel(source)
+    distances = fleet_placements(
+        channel, num_ues, jitter_fraction=jitter_fraction, seed=seed
+    )
+    return (
+        channel,
+        *(replace(channel, distance_m=distance) for distance in distances[1:]),
+    )

@@ -7,13 +7,15 @@ gradient back to the UE.
 """
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.layers import Sequential
 from repro.nn.losses import MeanSquaredError
 from repro.nn.optim import Adam
+from repro.nn.serialization import load_parameters, save_parameters
 from repro.split.config import ModelConfig, TrainingConfig
 from repro.split.models import build_bs_rnn
 from repro.utils.seeding import SeedLike
@@ -138,6 +140,26 @@ class BSServer:
 
     def zero_grad(self) -> None:
         self.rnn.zero_grad()
+
+    # -- weight exchange ------------------------------------------------------------
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """``state_dict``-style copy of the RNN (+ head) parameters."""
+        return self.rnn.state_dict()
+
+    def set_weights(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`get_weights`.
+
+        Gradients are reset; the optimizer keeps its moment estimates.
+        """
+        self.rnn.load_state_dict(state)
+
+    def save_weights(self, path: str | os.PathLike) -> None:
+        """Persist the RNN parameters to a ``.npz`` file."""
+        save_parameters(self.rnn, path)
+
+    def load_weights(self, path: str | os.PathLike) -> None:
+        """Restore RNN parameters saved with :meth:`save_weights`."""
+        load_parameters(self.rnn, path)
 
     def train(self) -> "BSServer":
         self.rnn.train()

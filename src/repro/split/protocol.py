@@ -53,15 +53,48 @@ class StepResult:
     updated: bool
 
 
+@dataclass
+class ComputePhase:
+    """UE-side forward half of one training step, awaiting communication.
+
+    Produced by :meth:`SplitTrainingProtocol.begin_step`.  The fleet medium
+    scheduler collects one phase per UE, serializes all the uplink/downlink
+    transmissions onto the shared medium, and only then finishes the steps —
+    which is why the compute and communication halves of a step are separately
+    invokable.
+
+    Attributes:
+        features: cut-layer activations ``(batch, L, F)`` (``None`` for the
+            RF-only baseline).
+        uplink_payload_bits / downlink_payload_bits: cut-layer payload sizes
+            for this minibatch (0 when there is no image branch).
+        compute_elapsed_s: UE-side computation time charged for the phase.
+    """
+
+    features: Optional[np.ndarray]
+    uplink_payload_bits: float
+    downlink_payload_bits: float
+    compute_elapsed_s: float
+
+
 class SplitTrainingProtocol:
     """Coordinates UE and BS through training and inference steps.
 
     Args:
         config: full experiment configuration.
         seed: RNG seed split between UE init, BS init and the fading processes.
+        bs: an existing :class:`BSServer` to use instead of constructing one.
+            The fleet subsystem injects one shared BS into every member's
+            protocol; the UE-init and channel RNG streams are spawned exactly
+            as for a standalone protocol.
     """
 
-    def __init__(self, config: ExperimentConfig, seed: SeedLike = None):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        seed: SeedLike = None,
+        bs: Optional[BSServer] = None,
+    ):
         self.config = config
         seed = config.training.seed if seed is None else seed
         ue_rng, bs_rng, channel_rng = spawn_generators(seed, 3)
@@ -70,7 +103,7 @@ class SplitTrainingProtocol:
         self.ue: Optional[UEClient] = None
         if model.use_image:
             self.ue = UEClient(model, config.training, seed=ue_rng)
-        self.bs = BSServer(model, config.training, seed=bs_rng)
+        self.bs = bs if bs is not None else BSServer(model, config.training, seed=bs_rng)
         self._training_mode = True
 
         self.payload_model: Optional[PayloadModel] = None
@@ -101,30 +134,73 @@ class SplitTrainingProtocol:
         rf_sequences: Optional[np.ndarray],
         targets: np.ndarray,
     ) -> StepResult:
-        """Run one SGD step on a minibatch (already normalized inputs/targets)."""
-        training = self.config.training
-        model = self.config.model
-        batch_size = len(targets)
-        elapsed = training.bs_compute_time_s
+        """Run one SGD step on a minibatch (already normalized inputs/targets).
 
-        features = None
+        Equivalent to :meth:`begin_step` + an uncontended :meth:`ArqSession
+        .exchange <repro.channel.arq.ArqSession.exchange>` + :meth:`complete_step`
+        (the single-UE case: the medium belongs to this session alone).
+        """
+        phase = self.begin_step(image_sequences)
         communication = None
-        if model.use_image:
-            assert self.ue is not None and self.arq is not None
-            elapsed += training.ue_compute_time_s
-            features = self.ue.forward(image_sequences)
-            uplink_bits = self.payload_model.uplink_payload_bits(batch_size)
-            downlink_bits = self.payload_model.downlink_payload_bits(batch_size)
+        if self.config.model.use_image:
+            assert self.arq is not None
             # The exchange is gated: a lost uplink skips the downlink
             # entirely, so the step only costs the uplink slots.
-            communication = self.arq.exchange(uplink_bits, downlink_bits)
+            communication = self.arq.exchange(
+                phase.uplink_payload_bits, phase.downlink_payload_bits
+            )
+        return self.complete_step(phase, rf_sequences, targets, communication)
+
+    def begin_step(
+        self, image_sequences: Optional[np.ndarray]
+    ) -> ComputePhase:
+        """Compute phase of a training step: UE forward pass + payload sizing.
+
+        No channel RNG is consumed — the communication phase is left to the
+        caller (either :meth:`training_step` via the session's own
+        :meth:`~repro.channel.arq.ArqSession.exchange`, or a fleet medium
+        scheduler that interleaves many sessions).
+        """
+        training = self.config.training
+        if not self.config.model.use_image:
+            return ComputePhase(
+                features=None,
+                uplink_payload_bits=0.0,
+                downlink_payload_bits=0.0,
+                compute_elapsed_s=0.0,
+            )
+        assert self.ue is not None and self.payload_model is not None
+        features = self.ue.forward(image_sequences)
+        batch_size = len(image_sequences)
+        return ComputePhase(
+            features=features,
+            uplink_payload_bits=self.payload_model.uplink_payload_bits(batch_size),
+            downlink_payload_bits=self.payload_model.downlink_payload_bits(batch_size),
+            compute_elapsed_s=training.ue_compute_time_s,
+        )
+
+    def complete_step(
+        self,
+        phase: ComputePhase,
+        rf_sequences: Optional[np.ndarray],
+        targets: np.ndarray,
+        communication: Optional[StepCommunication],
+    ) -> StepResult:
+        """BS half of a training step, given the communication outcome.
+
+        A failed exchange aborts the step (see :meth:`abort_step`); otherwise
+        the BS computes loss and cut-layer gradients, the UE backpropagates
+        and both sides apply their optimizer update.
+        """
+        model = self.config.model
+        elapsed = phase.compute_elapsed_s + self.config.training.bs_compute_time_s
+        if communication is not None:
             elapsed += communication.total_elapsed_s
             if not communication.success:
                 # The activations (or gradients) never got through: the step is
                 # lost.  Clear any partial gradients so they do not leak into
                 # the next update.
-                self.ue.zero_grad()
-                self.bs.zero_grad()
+                self.abort_step()
                 return StepResult(
                     loss=float("nan"),
                     elapsed_s=elapsed,
@@ -133,7 +209,7 @@ class SplitTrainingProtocol:
                 )
 
         loss_value, cut_gradient = self.bs.compute_loss_and_gradients(
-            features, rf_sequences if model.use_rf else None, targets
+            phase.features, rf_sequences if model.use_rf else None, targets
         )
         if model.use_image and cut_gradient is not None:
             assert self.ue is not None
@@ -146,6 +222,12 @@ class SplitTrainingProtocol:
             communication=communication,
             updated=True,
         )
+
+    def abort_step(self) -> None:
+        """Discard a step after a lost exchange: clear both halves' gradients."""
+        if self.ue is not None:
+            self.ue.zero_grad()
+        self.bs.zero_grad()
 
     # -- inference ----------------------------------------------------------------------
     def predict(

@@ -27,6 +27,41 @@ from repro.utils.seeding import as_generator
 logger = get_logger("split.trainer")
 
 
+def normalized_training_inputs(
+    model, normalizer: PowerNormalizer, sequences: SequenceDataset
+):
+    """Model inputs/targets normalized for training or evaluation.
+
+    Shared by :class:`SplitTrainer` and the fleet trainer so the two can
+    never drift: images stay raw (already in [0, 1]) and are ``None`` without
+    an image branch, powers are normalized when the RF branch is enabled,
+    targets are always normalized.
+    """
+    images = sequences.image_sequences if model.use_image else None
+    powers = (
+        normalizer.normalize(sequences.power_sequences) if model.use_rf else None
+    )
+    targets = normalizer.normalize(sequences.targets)
+    return images, powers, targets
+
+
+def predict_sequences_dbm(
+    protocol: SplitTrainingProtocol,
+    normalizer: PowerNormalizer,
+    sequences: SequenceDataset,
+    batch_size: int,
+) -> np.ndarray:
+    """Denormalized (dBm) predictions of ``protocol`` over ``sequences``.
+
+    The evaluation path shared by the single-UE and fleet trainers.
+    """
+    images, powers, _ = normalized_training_inputs(
+        protocol.config.model, normalizer, sequences
+    )
+    normalized = protocol.predict(images, powers, batch_size=batch_size)
+    return normalizer.denormalize(normalized)
+
+
 @dataclass
 class EpochRecord:
     """One point of the learning curve."""
@@ -39,25 +74,15 @@ class EpochRecord:
     lost_steps: int
 
 
-@dataclass
-class TrainingHistory:
-    """Full record of one training run.
+class LearningCurveMixin:
+    """Metric helpers shared by every history with learning-curve records.
 
-    Attributes:
-        scheme: human-readable scheme label (e.g. ``"Img+RF, pooling 40x40"``).
-        records: per-epoch learning-curve points.
-        reached_target: whether the RMSE target stopped training early.
-        total_elapsed_s: simulated wall-clock time of the whole run.
-        communication: snapshot of the aggregate ARQ statistics for this run
-            (``None`` for RF-only; streaming mean/std of per-step slots and
-            latency, never a per-step history).
+    Works on any ``records`` list whose entries carry ``elapsed_s`` and
+    ``validation_rmse_db`` (per-epoch records here, per-round records in the
+    fleet trainer), so single-UE and fleet metrics can never drift apart.
     """
 
-    scheme: str
-    records: List[EpochRecord] = field(default_factory=list)
-    reached_target: bool = False
-    total_elapsed_s: float = 0.0
-    communication: Optional[ArqStatistics] = None
+    records: list
 
     @property
     def final_rmse_db(self) -> float:
@@ -87,6 +112,27 @@ class TrainingHistory:
         return float("inf")
 
 
+@dataclass
+class TrainingHistory(LearningCurveMixin):
+    """Full record of one training run.
+
+    Attributes:
+        scheme: human-readable scheme label (e.g. ``"Img+RF, pooling 40x40"``).
+        records: per-epoch learning-curve points.
+        reached_target: whether the RMSE target stopped training early.
+        total_elapsed_s: simulated wall-clock time of the whole run.
+        communication: snapshot of the aggregate ARQ statistics for this run
+            (``None`` for RF-only; streaming mean/std of per-step slots and
+            latency, never a per-step history).
+    """
+
+    scheme: str
+    records: List[EpochRecord] = field(default_factory=list)
+    reached_target: bool = False
+    total_elapsed_s: float = 0.0
+    communication: Optional[ArqStatistics] = None
+
+
 class SplitTrainer:
     """Trains a split model on sequence datasets with simulated wall-clock time.
 
@@ -104,15 +150,9 @@ class SplitTrainer:
     def _prepare_inputs(self, sequences: SequenceDataset):
         """Normalize powers and targets; images are already in [0, 1]."""
         assert self.normalizer is not None
-        model = self.config.model
-        images = sequences.image_sequences if model.use_image else None
-        powers = (
-            self.normalizer.normalize(sequences.power_sequences)
-            if model.use_rf
-            else None
+        return normalized_training_inputs(
+            self.config.model, self.normalizer, sequences
         )
-        targets = self.normalizer.normalize(sequences.targets)
-        return images, powers, targets
 
     # -- training -----------------------------------------------------------------------
     def fit(
@@ -193,17 +233,12 @@ class SplitTrainer:
         """Predict received power in dBm for every window of ``sequences``."""
         if self.normalizer is None:
             raise RuntimeError("the trainer has not been fitted yet")
-        model = self.config.model
-        images = sequences.image_sequences if model.use_image else None
-        powers = (
-            self.normalizer.normalize(sequences.power_sequences)
-            if model.use_rf
-            else None
+        return predict_sequences_dbm(
+            self.protocol,
+            self.normalizer,
+            sequences,
+            self.config.training.eval_batch_size,
         )
-        normalized = self.protocol.predict(
-            images, powers, batch_size=self.config.training.eval_batch_size
-        )
-        return self.normalizer.denormalize(normalized)
 
     def evaluate(self, sequences: SequenceDataset) -> float:
         """Validation RMSE in dB (predictions and targets in dBm)."""

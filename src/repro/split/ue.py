@@ -7,12 +7,14 @@ applies the cut-layer gradients received on the downlink.
 """
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.nn.layers import Sequential
 from repro.nn.optim import Adam
+from repro.nn.serialization import load_parameters, save_parameters
 from repro.split.config import ModelConfig, TrainingConfig
 from repro.split.models import build_pooling_compressor, build_ue_cnn
 from repro.utils.seeding import SeedLike
@@ -138,6 +140,33 @@ class UEClient:
 
     def zero_grad(self) -> None:
         self.cnn.zero_grad()
+
+    # -- weight exchange ------------------------------------------------------------
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """``state_dict``-style copy of the CNN parameters.
+
+        The pooling compressor has no trainable parameters, so the CNN state
+        is the complete UE-side model.  The returned arrays are copies: the
+        fleet rotation hand-off and parallel averaging mutate them freely.
+        """
+        return self.cnn.state_dict()
+
+    def set_weights(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`get_weights`.
+
+        Gradients are reset; the optimizer keeps its moment estimates (the
+        ``Parameter`` objects it tracks are retained, only their values
+        change), which is the classic split-learning hand-off semantics.
+        """
+        self.cnn.load_state_dict(state)
+
+    def save_weights(self, path: str | os.PathLike) -> None:
+        """Persist the CNN parameters to a ``.npz`` file."""
+        save_parameters(self.cnn, path)
+
+    def load_weights(self, path: str | os.PathLike) -> None:
+        """Restore CNN parameters saved with :meth:`save_weights`."""
+        load_parameters(self.cnn, path)
 
     def train(self) -> "UEClient":
         self.cnn.train()

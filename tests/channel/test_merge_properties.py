@@ -1,0 +1,145 @@
+"""Property-based tests for ``ArqStatistics.merge``.
+
+Fleet aggregation folds per-UE session statistics into one fleet-level
+object, so ``merge`` must behave like a commutative, associative monoid in
+every distribution-relevant field: counts must be exact, and streaming
+means/variances must agree regardless of grouping and order, and must match
+the statistics of the concatenated step stream recorded sequentially.
+"""
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import ArqStatistics, StepCommunication, TransmissionResult
+
+SLOT_S = 1e-3
+
+#: Integer count fields that must add exactly under merge.
+COUNT_FIELDS = (
+    "steps",
+    "uplink_slots",
+    "downlink_slots",
+    "uplink_first_attempt_successes",
+    "downlink_first_attempt_successes",
+    "uplink_failures",
+    "downlink_failures",
+    "downlink_skipped",
+)
+
+
+def _transmission(slots: int, success: bool) -> TransmissionResult:
+    return TransmissionResult(
+        success=success,
+        slots_used=slots,
+        elapsed_s=slots * SLOT_S,
+        first_attempt_success=success and slots == 1,
+    )
+
+
+@st.composite
+def step_outcomes(draw, max_steps=12):
+    """A list of synthetic (uplink slots, uplink ok, downlink slots or None)."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=40),
+                st.booleans(),
+                st.one_of(st.none(), st.integers(min_value=1, max_value=40)),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=max_steps,
+        )
+    )
+
+
+def build_statistics(outcomes) -> ArqStatistics:
+    statistics = ArqStatistics()
+    for uplink_slots, uplink_ok, downlink_slots, downlink_ok in outcomes:
+        uplink = _transmission(uplink_slots, uplink_ok)
+        # The gated exchange only attempts a downlink after a decoded uplink.
+        downlink = (
+            _transmission(downlink_slots, downlink_ok)
+            if uplink_ok and downlink_slots is not None
+            else None
+        )
+        statistics.record(StepCommunication(uplink=uplink, downlink=downlink))
+    return statistics
+
+
+def assert_statistics_close(left: ArqStatistics, right: ArqStatistics):
+    for field in COUNT_FIELDS:
+        assert getattr(left, field) == getattr(right, field), field
+    assert math.isclose(
+        left.total_elapsed_s, right.total_elapsed_s, rel_tol=1e-9, abs_tol=1e-12
+    )
+    for field in ("slots_mean", "slots_m2", "latency_mean_s", "latency_m2"):
+        assert math.isclose(
+            getattr(left, field), getattr(right, field), rel_tol=1e-9, abs_tol=1e-9
+        ), field
+
+
+@given(step_outcomes(), step_outcomes())
+@settings(max_examples=60, deadline=None)
+def test_merge_commutative(outcomes_a, outcomes_b):
+    a = build_statistics(outcomes_a)
+    b = build_statistics(outcomes_b)
+    assert_statistics_close(a.merge(b), b.merge(a))
+
+
+@given(step_outcomes(), step_outcomes(), step_outcomes())
+@settings(max_examples=60, deadline=None)
+def test_merge_associative(outcomes_a, outcomes_b, outcomes_c):
+    a = build_statistics(outcomes_a)
+    b = build_statistics(outcomes_b)
+    c = build_statistics(outcomes_c)
+    assert_statistics_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@given(step_outcomes(), step_outcomes())
+@settings(max_examples=60, deadline=None)
+def test_merge_matches_sequential_stream(outcomes_a, outcomes_b):
+    """Merging two runs equals recording the concatenated step stream."""
+    merged = build_statistics(outcomes_a).merge(build_statistics(outcomes_b))
+    sequential = build_statistics(outcomes_a + outcomes_b)
+    assert_statistics_close(merged, sequential)
+
+
+@given(step_outcomes())
+@settings(max_examples=60, deadline=None)
+def test_merge_identity_and_no_mutation(outcomes):
+    stats = build_statistics(outcomes)
+    empty = ArqStatistics()
+    assert_statistics_close(stats.merge(empty), stats)
+    assert_statistics_close(empty.merge(stats), stats)
+    # merge must not mutate its operands
+    before = stats.snapshot()
+    stats.merge(build_statistics(outcomes))
+    assert_statistics_close(stats, before)
+
+
+@given(step_outcomes(max_steps=20), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_merged_variance_matches_population_variance(outcomes, num_parts):
+    """The merged Welford moments equal the plain population statistics."""
+    if not outcomes:
+        return
+    parts = [outcomes[i::num_parts] for i in range(num_parts)]
+    merged = build_statistics(parts[0])
+    for part in parts[1:]:
+        merged = merged.merge(build_statistics(part))
+    slot_totals = []
+    for uplink_slots, uplink_ok, downlink_slots, _ in outcomes:
+        total = uplink_slots
+        if uplink_ok and downlink_slots is not None:
+            total += downlink_slots
+        slot_totals.append(total)
+    slot_totals = np.array(slot_totals, dtype=np.float64)
+    assert math.isclose(
+        merged.mean_slots_per_step, slot_totals.mean(), rel_tol=1e-9, abs_tol=1e-9
+    )
+    assert math.isclose(
+        merged.slots_variance, slot_totals.var(), rel_tol=1e-9, abs_tol=1e-9
+    )

@@ -115,6 +115,30 @@ def test_sweep_fig3a_metrics_include_communication(sweep_cache_dir):
     assert not any(key.startswith("rf-only/comm_") for key in metrics)
 
 
+def test_sweep_fleet_experiment_metrics(sweep_cache_dir):
+    """The fleet experiment is registered and reports per-(mode, N) metrics."""
+    assert "fleet" in EXPERIMENTS
+    artifact = run_sweep(
+        smoke_sweep_config(
+            sweep_cache_dir,
+            scenarios=("paper_baseline",),
+            seeds=(0,),
+            experiment="fleet",
+        )
+    )
+    metrics = artifact["scenarios"]["paper_baseline"]["cells"][0]["metrics"]
+    for mode in ("rotation", "parallel_average"):
+        for num_ues in (1, 2, 4):
+            assert f"{mode}/n{num_ues}/final_rmse_db" in metrics
+            occupancy = metrics[f"{mode}/n{num_ues}/medium_occupancy"]
+            assert 0.0 < occupancy < 1.0
+    # Rotation fleets serialize turns; parallel-average amortizes compute.
+    assert (
+        metrics["parallel_average/n4/elapsed_s"]
+        < metrics["rotation/n4/elapsed_s"]
+    )
+
+
 def test_sweep_artifact_schema(sweep_cache_dir, tmp_path):
     output = tmp_path / "artifacts" / "sweep.json"
     artifact = run_sweep(

@@ -1,0 +1,140 @@
+"""Tests for the shared-medium schedulers."""
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    ProportionalScheduler,
+    RoundRobinScheduler,
+    scheduler_from_name,
+)
+
+
+def reference_completions(slots, quanta):
+    """Slot-by-slot reference simulation of cyclic weighted service."""
+    remaining = list(slots)
+    completions = [0] * len(slots)
+    clock = 0
+    while any(remaining):
+        for index, quantum in enumerate(quanta):
+            if remaining[index] <= 0:
+                continue
+            burst = min(quantum, remaining[index])
+            clock += burst
+            remaining[index] -= burst
+            if remaining[index] == 0:
+                completions[index] = clock
+    return completions
+
+
+# -- round-robin ---------------------------------------------------------------------
+
+
+def test_round_robin_single_demand_is_identity():
+    result = RoundRobinScheduler().schedule([7])
+    assert result.total_slots == 7
+    assert result.completion_slots.tolist() == [7]
+
+
+def test_round_robin_matches_reference_simulation():
+    rng = np.random.default_rng(0)
+    scheduler = RoundRobinScheduler()
+    for _ in range(50):
+        count = int(rng.integers(1, 8))
+        slots = rng.integers(1, 30, size=count).tolist()
+        result = scheduler.schedule(slots)
+        expected = reference_completions(slots, [1] * count)
+        assert result.completion_slots.tolist() == expected
+        assert result.total_slots == sum(slots)
+
+
+def test_round_robin_work_conserving():
+    result = RoundRobinScheduler().schedule([5, 3, 9, 1])
+    # The last demand to finish completes exactly when the medium goes idle.
+    assert result.completion_slots.max() == result.total_slots == 18
+
+
+def test_round_robin_small_demands_finish_early():
+    result = RoundRobinScheduler().schedule([100, 1])
+    # Demand 1 only waits for demand 0's first slot.
+    assert result.completion_slots[1] == 2
+    assert result.completion_slots[0] == 101
+
+
+def test_round_robin_large_demands_no_slot_loop():
+    # Completion math is closed-form per demand: huge demands must be instant.
+    result = RoundRobinScheduler().schedule([10**12, 3])
+    assert result.completion_slots[1] == 6  # 3 cycles of 2 slots
+    assert result.completion_slots[0] == 10**12 + 3
+
+
+def test_empty_and_invalid_demands():
+    result = RoundRobinScheduler().schedule([])
+    assert result.total_slots == 0
+    assert len(result.completion_slots) == 0
+    with pytest.raises(ValueError):
+        RoundRobinScheduler().schedule([3, 0])
+
+
+def test_schedule_result_time_conversions():
+    result = RoundRobinScheduler().schedule([2, 2])
+    assert result.busy_time_s(1e-3) == pytest.approx(4e-3)
+    assert result.completion_times_s(1e-3).tolist() == pytest.approx([3e-3, 4e-3])
+
+
+# -- proportional --------------------------------------------------------------------
+
+
+def test_proportional_equal_payloads_degenerates_to_round_robin():
+    slots = [5, 3, 9, 1]
+    equal_bits = [1000.0] * 4
+    round_robin = RoundRobinScheduler().schedule(slots)
+    proportional = ProportionalScheduler().schedule(slots, payload_bits=equal_bits)
+    assert (
+        proportional.completion_slots.tolist()
+        == round_robin.completion_slots.tolist()
+    )
+
+
+def test_proportional_matches_reference_simulation():
+    rng = np.random.default_rng(1)
+    scheduler = ProportionalScheduler()
+    for _ in range(50):
+        count = int(rng.integers(1, 6))
+        slots = rng.integers(1, 30, size=count).tolist()
+        bits = (rng.integers(1, 5, size=count) * 1000.0).tolist()
+        result = scheduler.schedule(slots, payload_bits=bits)
+        quanta = np.maximum(
+            1, np.round(np.array(bits) / min(bits))
+        ).astype(int)
+        expected = reference_completions(slots, quanta.tolist())
+        assert result.completion_slots.tolist() == expected
+        assert result.total_slots == sum(slots)
+
+
+def test_proportional_heavy_payload_gets_bursts():
+    # UE 0 has a 3x payload: it transmits 3 slots per turn instead of 1, so
+    # its completion is earlier than under plain round-robin.
+    slots = [30, 10]
+    proportional = ProportionalScheduler().schedule(
+        slots, payload_bits=[3000.0, 1000.0]
+    )
+    round_robin = RoundRobinScheduler().schedule(slots)
+    assert proportional.completion_slots[0] < round_robin.completion_slots[0]
+    assert proportional.total_slots == round_robin.total_slots == 40
+
+
+def test_proportional_payload_validation():
+    with pytest.raises(ValueError):
+        ProportionalScheduler().schedule([3, 3], payload_bits=[1.0])
+    with pytest.raises(ValueError):
+        ProportionalScheduler().schedule([3, 3], payload_bits=[1.0, -1.0])
+
+
+# -- registry ------------------------------------------------------------------------
+
+
+def test_scheduler_from_name():
+    assert isinstance(scheduler_from_name("round_robin"), RoundRobinScheduler)
+    assert isinstance(scheduler_from_name("proportional"), ProportionalScheduler)
+    with pytest.raises(ValueError):
+        scheduler_from_name("fifo")

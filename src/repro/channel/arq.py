@@ -17,7 +17,7 @@ of recent steps is kept for tests and debugging.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Deque, List, Optional
 
 import numpy as np
@@ -239,6 +239,20 @@ class ArqStatistics:
         """Immutable-by-copy view of the current aggregates."""
         return replace(self)
 
+    def state_dict(self) -> dict:
+        """Exact field values (unlike :meth:`as_dict`, which reports derived
+        summaries); :meth:`from_state` rebuilds an identical instance."""
+        return asdict(self)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ArqStatistics":
+        """Rebuild statistics captured by :meth:`state_dict`."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(state) - known
+        if unknown:
+            raise ValueError(f"unknown ArqStatistics fields: {sorted(unknown)}")
+        return cls(**state)
+
     def merge(self, other: "ArqStatistics") -> "ArqStatistics":
         """Combined statistics of two disjoint runs (for sweep aggregation)."""
         merged = self.snapshot()
@@ -433,4 +447,25 @@ class ArqSession:
     def reset_statistics(self) -> None:
         """Clear aggregate statistics and the recent-step ring buffer."""
         self.statistics = ArqStatistics()
+        self._recent.clear()
+
+    def state_dict(self) -> dict:
+        """Restorable session state: both fading streams plus the aggregates.
+
+        The bounded ring buffer of recent exchanges (:attr:`history`) is a
+        debugging aid and is deliberately *not* part of the state: a restored
+        session starts with an empty buffer, while its statistics and RNG
+        streams continue exactly where the captured session stopped.
+        """
+        return {
+            "uplink": self.uplink.state_dict(),
+            "downlink": self.downlink.state_dict(),
+            "statistics": self.statistics.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore session state captured by :meth:`state_dict`."""
+        self.uplink.load_state_dict(state["uplink"])
+        self.downlink.load_state_dict(state["downlink"])
+        self.statistics = ArqStatistics.from_state(state["statistics"])
         self._recent.clear()

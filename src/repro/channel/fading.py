@@ -18,7 +18,12 @@ import math
 
 import numpy as np
 
-from repro.utils.seeding import SeedLike, as_generator
+from repro.utils.seeding import (
+    SeedLike,
+    as_generator,
+    capture_generator_state,
+    restore_generator_state,
+)
 
 
 def slots_from_fading(
@@ -71,6 +76,14 @@ class ExponentialFadingProcess:
     def sample_one(self) -> float:
         """Draw a single fading gain."""
         return float(self._rng.exponential(self.mean))
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the fading stream position (for checkpoints)."""
+        return {"rng": capture_generator_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a stream position captured by :meth:`state_dict`."""
+        restore_generator_state(self._rng, state["rng"])
 
 
 @dataclass

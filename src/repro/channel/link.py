@@ -329,6 +329,19 @@ class WirelessLink:
                     first_attempt_success=False,
                 )
 
+    def state_dict(self) -> dict:
+        """Restorable state of this link direction: the fading stream position.
+
+        Everything else on the link (SNR, thresholds) is derived from the
+        immutable channel parameters, so the RNG state is the complete
+        run-time state.
+        """
+        return {"fading": self.fading.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.fading.load_state_dict(state["fading"])
+
     def expected_slots(self, payload_bits: float) -> float:
         """Expected number of slots until success (geometric distribution)."""
         probability = self.success_probability(payload_bits)

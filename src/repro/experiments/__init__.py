@@ -27,6 +27,20 @@ from repro.experiments.fig2_feature_maps import (
     shannon_entropy_bits,
 )
 from repro.experiments.fig3a_learning_curves import Fig3aResult, run_fig3a
+from repro.experiments.model_cache import (
+    default_model_cache_dir,
+    trained_model_fingerprint,
+    trained_model_path,
+)
+from repro.experiments.pipeline import (
+    ExperimentPipeline,
+    ExperimentSpec,
+    PipelineOptions,
+    TrainedModel,
+    TrainingJob,
+    experiment_specs,
+    write_artifact,
+)
 from repro.experiments.fig3b_power_prediction import (
     Fig3bResult,
     SchemePrediction,
@@ -50,11 +64,14 @@ __all__ = [
     "run_fleet_scaling",
     "BandwidthSweepRow",
     "BlockageComparisonResult",
+    "ExperimentPipeline",
     "ExperimentScale",
+    "ExperimentSpec",
     "Fig2Result",
     "Fig3aResult",
     "Fig3bResult",
     "PAPER_TABLE1",
+    "PipelineOptions",
     "PoolingSweepRow",
     "PoolingVisualization",
     "RnnTypeRow",
@@ -63,8 +80,13 @@ __all__ = [
     "SweepConfig",
     "Table1Result",
     "Table1Row",
+    "TrainedModel",
+    "TrainingJob",
     "bandwidth_sweep",
     "blockage_model_comparison",
+    "canonical_artifact",
+    "default_model_cache_dir",
+    "experiment_specs",
     "format_summary",
     "generate_dataset",
     "load_or_generate_dataset",
@@ -85,6 +107,8 @@ __all__ = [
     "sequence_length_sweep",
     "shannon_entropy_bits",
     "success_probability_for_pooling",
+    "trained_model_fingerprint",
+    "trained_model_path",
     "transition_mask_from_truth",
     "write_artifact",
 ]
@@ -96,10 +120,10 @@ __all__ = [
 _LAZY_EXPORTS = {
     "ARTIFACT_SCHEMA_VERSION": "sweep",
     "SweepConfig": "sweep",
+    "canonical_artifact": "sweep",
     "format_summary": "sweep",
     "register_experiment": "sweep",
     "run_sweep": "sweep",
-    "write_artifact": "sweep",
     "FLEET_ARTIFACT_SCHEMA_VERSION": "fig_fleet_scaling",
     "FleetScalingResult": "fig_fleet_scaling",
     "run_fleet_scaling": "fig_fleet_scaling",

@@ -19,7 +19,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.dataset.generator import DepthPowerDataset
-from repro.experiments.common import ExperimentScale, generate_dataset
+from repro.experiments.common import ExperimentScale
+from repro.experiments.pipeline import ExperimentPipeline, PipelineOptions
 from repro.split.config import ModelConfig
 from repro.split.ue import UEClient
 
@@ -111,10 +112,16 @@ def run_fig2(
     scale: Optional[ExperimentScale] = None,
     dataset: Optional[DepthPowerDataset] = None,
     poolings: Optional[tuple] = None,
+    options: Optional[PipelineOptions] = None,
 ) -> Fig2Result:
-    """Regenerate the content of Fig. 2 at the requested scale."""
-    scale = scale or ExperimentScale.fast()
-    dataset = dataset if dataset is not None else generate_dataset(scale)
+    """Regenerate the content of Fig. 2 at the requested scale.
+
+    Fig. 2 involves no training — the pipeline contributes its dataset stage
+    (and dataset caching when ``options`` enables it).
+    """
+    pipeline = ExperimentPipeline(scale, options, dataset=dataset)
+    scale = pipeline.scale
+    dataset = pipeline.dataset
     poolings = poolings or scale.valid_poolings()
 
     frame_indices = select_representative_frames(dataset)
@@ -150,3 +157,14 @@ def run_fig2(
             ),
         )
     return result
+
+
+def result_metrics(result: Fig2Result) -> dict:
+    """Flatten a :class:`Fig2Result` into sweep-cell metrics."""
+    metrics: dict = {}
+    for pooling, item in result.per_pooling.items():
+        prefix = f"pool_{pooling}x{pooling}"
+        metrics[f"{prefix}/values_per_image"] = float(item.values_per_image)
+        metrics[f"{prefix}/mean_spatial_variance"] = float(item.mean_spatial_variance)
+        metrics[f"{prefix}/mean_entropy_bits"] = float(item.mean_entropy_bits)
+    return metrics

@@ -18,14 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.dataset.generator import DepthPowerDataset
 from repro.dataset.splits import TrainValidationSplit
-from repro.experiments.common import (
-    ExperimentScale,
-    prepare_split,
-    scheme_model_configs,
-)
-from repro.split.config import ExperimentConfig
-from repro.split.trainer import SplitTrainer, TrainingHistory
+from repro.experiments.common import ExperimentScale, scheme_model_configs
+from repro.experiments.pipeline import ExperimentPipeline, PipelineOptions
+from repro.split.trainer import TrainingHistory
 
 
 @dataclass
@@ -85,6 +82,8 @@ def run_fig3a(
     scale: Optional[ExperimentScale] = None,
     split: Optional[TrainValidationSplit] = None,
     schemes: Optional[List[str]] = None,
+    dataset: Optional[DepthPowerDataset] = None,
+    options: Optional[PipelineOptions] = None,
 ) -> Fig3aResult:
     """Train every scheme and collect the learning curves.
 
@@ -92,9 +91,13 @@ def run_fig3a(
         scale: experiment scale (default: :meth:`ExperimentScale.fast`).
         split: pre-built train/validation split (regenerated when omitted).
         schemes: restrict to a subset of scheme names (default: all five).
+        dataset: pre-built dataset (split is derived from it when no split
+            is given).
+        options: run-state persistence knobs (checkpointing, resume, trained
+            model cache) handled by the shared pipeline.
     """
-    scale = scale or ExperimentScale.fast()
-    split = split if split is not None else prepare_split(scale)
+    pipeline = ExperimentPipeline(scale, options, dataset=dataset, split=split)
+    scale = pipeline.scale
     configs = scheme_model_configs(scale)
     if schemes is not None:
         unknown = set(schemes) - set(configs)
@@ -103,12 +106,33 @@ def run_fig3a(
         configs = {name: configs[name] for name in schemes}
 
     result = Fig3aResult(scale=scale)
-    training = scale.training_config()
     for name, model_config in configs.items():
-        trainer = SplitTrainer(
-            ExperimentConfig.for_scenario(
-                scale.scenario, model=model_config, training=training
-            )
-        )
-        result.histories[name] = trainer.fit(split.train, split.validation)
+        trained = pipeline.train(pipeline.split_job(name, model_config))
+        result.histories[name] = trained.history
     return result
+
+
+def result_metrics(result: Fig3aResult) -> dict:
+    """Flatten a :class:`Fig3aResult` into sweep-cell metrics (schema v2)."""
+    metrics: dict = {}
+    for name, history in result.histories.items():
+        metrics[f"{name}/final_rmse_db"] = float(history.final_rmse_db)
+        metrics[f"{name}/best_rmse_db"] = float(history.best_rmse_db)
+        metrics[f"{name}/elapsed_s"] = float(history.total_elapsed_s)
+        metrics[f"{name}/epochs"] = float(len(history.records))
+        metrics[f"{name}/lost_steps"] = float(
+            sum(record.lost_steps for record in history.records)
+        )
+        communication = history.communication
+        if communication is not None and communication.steps:
+            metrics[f"{name}/comm_mean_slots_per_step"] = float(
+                communication.mean_slots_per_step
+            )
+            metrics[f"{name}/comm_slots_std"] = float(communication.slots_std)
+            metrics[f"{name}/comm_mean_step_latency_s"] = float(
+                communication.mean_step_latency_s
+            )
+            metrics[f"{name}/comm_downlink_skipped"] = float(
+                communication.downlink_skipped
+            )
+    return metrics

@@ -20,10 +20,9 @@ import numpy as np
 from repro.dataset.generator import DepthPowerDataset
 from repro.dataset.sequences import SequenceDataset
 from repro.dataset.splits import TrainValidationSplit
-from repro.experiments.common import ExperimentScale, generate_dataset, prepare_split
+from repro.experiments.common import ExperimentScale
+from repro.experiments.pipeline import ExperimentPipeline, PipelineOptions
 from repro.nn.metrics import root_mean_squared_error
-from repro.split.config import ExperimentConfig
-from repro.split.trainer import SplitTrainer
 
 
 @dataclass
@@ -120,12 +119,12 @@ def run_fig3b(
     dataset: Optional[DepthPowerDataset] = None,
     split: Optional[TrainValidationSplit] = None,
     window_length: int = 90,
+    options: Optional[PipelineOptions] = None,
 ) -> Fig3bResult:
     """Train Img+RF, Img-only and RF-only and compare their prediction traces."""
-    scale = scale or ExperimentScale.fast()
-    if split is None:
-        dataset = dataset if dataset is not None else generate_dataset(scale)
-        split = prepare_split(scale, dataset)
+    pipeline = ExperimentPipeline(scale, options, dataset=dataset, split=split)
+    scale = pipeline.scale
+    split = pipeline.split
 
     window_positions = select_plot_window(split.validation, window_length)
     window = split.validation.subset(window_positions)
@@ -148,15 +147,9 @@ def run_fig3b(
         ground_truth_dbm=truth,
         transition_mask=transition_mask_from_truth(truth),
     )
-    training = scale.training_config()
     for name, model_config in schemes.items():
-        trainer = SplitTrainer(
-            ExperimentConfig.for_scenario(
-                scale.scenario, model=model_config, training=training
-            )
-        )
-        trainer.fit(split.train, split.validation)
-        predictions = trainer.predict_dbm(window)
+        trained = pipeline.train(pipeline.split_job(name, model_config))
+        predictions = pipeline.predict_dbm(trained, window)
         overall = root_mean_squared_error(predictions, truth)
         if result.transition_mask.any():
             transition = root_mean_squared_error(
@@ -171,3 +164,12 @@ def run_fig3b(
             transition_rmse_db=transition,
         )
     return result
+
+
+def result_metrics(result: Fig3bResult) -> dict:
+    """Flatten a :class:`Fig3bResult` into sweep-cell metrics."""
+    metrics: dict = {}
+    for name, prediction in result.predictions.items():
+        metrics[f"{name}/rmse_db"] = float(prediction.rmse_db)
+        metrics[f"{name}/transition_rmse_db"] = float(prediction.transition_rmse_db)
+    return metrics

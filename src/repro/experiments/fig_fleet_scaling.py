@@ -31,9 +31,17 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dataset.generator import DepthPowerDataset
 from repro.dataset.splits import TrainValidationSplit
-from repro.experiments.common import ExperimentScale, prepare_split, scale_from_name
-from repro.fleet import FLEET_MODES, FleetConfig, FleetHistory, FleetTrainer
+from repro.experiments.common import ExperimentScale, scale_from_name
+from repro.experiments.pipeline import (
+    ExperimentPipeline,
+    PipelineOptions,
+    add_run_state_arguments,
+    options_from_args,
+    write_artifact,
+)
+from repro.fleet import FLEET_MODES, FleetConfig, FleetHistory
 from repro.split.config import ExperimentConfig
 
 #: Version of the fleet-scaling artifact JSON layout.
@@ -134,6 +142,8 @@ def run_fleet_scaling(
     scheduler: str = "round_robin",
     placement_jitter: Optional[float] = None,
     max_rounds: Optional[int] = None,
+    dataset: Optional[DepthPowerDataset] = None,
+    options: Optional[PipelineOptions] = None,
 ) -> FleetScalingResult:
     """Train a fleet at every requested size in every requested mode.
 
@@ -147,9 +157,13 @@ def run_fleet_scaling(
             the fleet default).
         max_rounds: cap on rounds per cell (``None`` = the scale's epoch
             budget).
+        dataset: pre-built dataset (split is derived from it when no split
+            is given).
+        options: run-state persistence knobs (checkpointing, resume, trained
+            model cache) handled by the shared pipeline.
     """
-    scale = scale or ExperimentScale.fast()
-    split = split if split is not None else prepare_split(scale)
+    pipeline = ExperimentPipeline(scale, options, dataset=dataset, split=split)
+    scale = pipeline.scale
     ue_counts = tuple(int(count) for count in ue_counts)
     if not ue_counts or any(count < 1 for count in ue_counts):
         raise ValueError("ue_counts must be a non-empty list of sizes >= 1")
@@ -171,11 +185,35 @@ def run_fleet_scaling(
             fleet_kwargs = dict(num_ues=num_ues, mode=mode, scheduler=scheduler)
             if placement_jitter is not None:
                 fleet_kwargs["placement_jitter"] = placement_jitter
-            trainer = FleetTrainer(config, FleetConfig(**fleet_kwargs))
-            result.histories[(mode, num_ues)] = trainer.fit(
-                split.train, split.validation, max_rounds=max_rounds
+            job = pipeline.fleet_job(
+                f"{mode}/n{num_ues}",
+                FleetConfig(**fleet_kwargs),
+                config,
+                max_rounds=max_rounds,
             )
+            result.histories[(mode, num_ues)] = pipeline.train(job).history
     return result
+
+
+def result_metrics(result: FleetScalingResult) -> dict:
+    """Flatten a :class:`FleetScalingResult` into sweep-cell metrics."""
+    metrics: dict = {}
+    for (mode, num_ues), history in result.histories.items():
+        prefix = f"{mode}/n{num_ues}"
+        metrics[f"{prefix}/final_rmse_db"] = float(history.final_rmse_db)
+        metrics[f"{prefix}/best_rmse_db"] = float(history.best_rmse_db)
+        metrics[f"{prefix}/elapsed_s"] = float(history.total_elapsed_s)
+        metrics[f"{prefix}/rounds"] = float(len(history.records))
+        metrics[f"{prefix}/medium_occupancy"] = float(history.medium_occupancy)
+        communication = history.communication
+        if communication is not None and communication.steps:
+            metrics[f"{prefix}/comm_mean_slots_per_step"] = float(
+                communication.mean_slots_per_step
+            )
+            metrics[f"{prefix}/comm_mean_step_latency_s"] = float(
+                communication.mean_step_latency_s
+            )
+    return metrics
 
 
 # -- CLI ----------------------------------------------------------------------------
@@ -233,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="artifact JSON path (default: fleet-scaling-<scale>.json)",
     )
+    add_run_state_arguments(parser)
     return parser
 
 
@@ -246,10 +285,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scheduler=args.scheduler,
         placement_jitter=args.jitter,
         max_rounds=args.max_rounds,
+        options=options_from_args(args),
     )
     output = args.output or f"fleet-scaling-{args.scale}.json"
-    from repro.experiments.sweep import write_artifact
-
     write_artifact(result.artifact(), output)
     try:
         print(result.format_table())

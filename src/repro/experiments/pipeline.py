@@ -1,0 +1,416 @@
+"""Stage-based experiment pipeline shared by every paper runner.
+
+All five experiments (``fig2`` / ``fig3a`` / ``fig3b`` / ``table1`` /
+``fleet``) are compositions of the same four stages::
+
+    dataset  ->  train  ->  evaluate  ->  artifact
+
+:class:`ExperimentPipeline` implements the stages once, so run-state
+persistence is implemented once instead of five times:
+
+* **dataset** — generate, or flow through the content-addressed dataset
+  cache (:mod:`repro.dataset.cache`);
+* **train** — run one :class:`TrainingJob` (single-UE or fleet) with
+  epoch-granular checkpoints under ``--checkpoint-dir``, resumption via
+  ``--resume``, and content-addressed trained-model caching
+  (:mod:`repro.experiments.model_cache`);
+* **evaluate** — the single normalized-eval path every trainer shares
+  (:class:`repro.split.trainer.NormalizedEvaluationMixin`);
+* **artifact** — atomic JSON artifact writing (:func:`write_artifact`).
+
+One CLI (:mod:`repro.experiments.run`) drives any registered experiment::
+
+    python -m repro.experiments.run --experiment fig3a --scale fast \
+        --checkpoint-dir ckpts --resume --output fig3a.json
+
+A killed run re-executed with ``--resume`` continues every in-flight
+training job from its last epoch checkpoint and reproduces the
+uninterrupted run's artifact (training trajectories are bit-identical).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from repro.dataset.generator import DepthPowerDataset
+from repro.dataset.splits import TrainValidationSplit
+from repro.experiments.common import (
+    ExperimentScale,
+    generate_dataset,
+    load_or_generate_dataset,
+    prepare_split,
+)
+from repro.experiments.model_cache import (
+    trained_model_fingerprint,
+    trained_model_path,
+)
+from repro.fleet.config import FleetConfig
+from repro.fleet.trainer import FleetHistory, FleetTrainer
+from repro.split.config import ExperimentConfig
+from repro.split.trainer import SplitTrainer, TrainingHistory
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.pipeline")
+
+#: Version of the unified pipeline-CLI artifact layout.
+PIPELINE_ARTIFACT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Run-state persistence knobs shared by every runner (and the sweep).
+
+    Attributes:
+        checkpoint_dir: directory receiving one epoch-granular checkpoint
+            file per training job (``None`` disables checkpointing).
+        resume: continue jobs from their checkpoint files when present.
+        model_cache_dir: content-addressed trained-model cache directory
+            (``None`` disables the cache).
+        dataset_cache_dir: dataset cache directory (implies using the cache).
+        use_dataset_cache: route dataset generation through the default
+            dataset cache even without an explicit directory.
+        force_regenerate: bypass the dataset cache read path.
+        checkpoint_every: checkpoint cadence in epochs/rounds.
+    """
+
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    model_cache_dir: Optional[str] = None
+    dataset_cache_dir: Optional[str] = None
+    use_dataset_cache: bool = False
+    force_regenerate: bool = False
+    checkpoint_every: int = 1
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One unit of the train stage: a trainer to fit and how to fit it.
+
+    Attributes:
+        key: stable human-readable identifier (scheme name, ``mode/nN`` cell).
+        config: full experiment configuration.
+        kind: ``"split"`` or ``"fleet"``.
+        fleet_config: fleet shape (required when ``kind == "fleet"``).
+        fit_kwargs: extra keyword arguments for ``fit`` (e.g. ``max_rounds``).
+    """
+
+    key: str
+    config: ExperimentConfig
+    kind: str = "split"
+    fleet_config: Optional[FleetConfig] = None
+    fit_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ("split", "fleet"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "fleet" and self.fleet_config is None:
+            raise ValueError("fleet jobs need a fleet_config")
+
+    def build_trainer(self) -> Union[SplitTrainer, FleetTrainer]:
+        if self.kind == "fleet":
+            return FleetTrainer(self.config, self.fleet_config)
+        return SplitTrainer(self.config)
+
+
+@dataclass
+class TrainedModel:
+    """Outcome of the train stage for one job."""
+
+    key: str
+    trainer: Union[SplitTrainer, FleetTrainer]
+    history: Union[TrainingHistory, FleetHistory]
+    fingerprint: str
+    cache_hit: bool = False
+    resumed: bool = False
+
+
+def _job_slug(key: str) -> str:
+    """Filesystem-safe form of a job key."""
+    return re.sub(r"[^A-Za-z0-9._+-]+", "-", key).strip("-") or "job"
+
+
+class ExperimentPipeline:
+    """The shared dataset -> train -> evaluate -> artifact stages.
+
+    Args:
+        scale: experiment scale (default: :meth:`ExperimentScale.fast`).
+        options: run-state persistence knobs.
+        dataset: pre-built dataset (skips the dataset stage).
+        split: pre-built train/validation split (skips split preparation).
+    """
+
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        options: Optional[PipelineOptions] = None,
+        dataset: Optional[DepthPowerDataset] = None,
+        split: Optional[TrainValidationSplit] = None,
+    ):
+        self.scale = scale or ExperimentScale.fast()
+        self.options = options or PipelineOptions()
+        self._dataset = dataset
+        self._split = split
+
+    # -- stage 1: dataset -------------------------------------------------------------
+    @property
+    def dataset(self) -> DepthPowerDataset:
+        """The experiment dataset, generated (or cache-loaded) on first use."""
+        if self._dataset is None:
+            options = self.options
+            if (
+                options.dataset_cache_dir is not None
+                or options.use_dataset_cache
+                or options.force_regenerate
+            ):
+                self._dataset = load_or_generate_dataset(
+                    self.scale,
+                    cache_dir=options.dataset_cache_dir,
+                    force_regenerate=options.force_regenerate,
+                )
+            else:
+                self._dataset = generate_dataset(self.scale)
+        return self._dataset
+
+    @property
+    def split(self) -> TrainValidationSplit:
+        """The train/validation split, derived from the dataset on first use."""
+        if self._split is None:
+            self._split = prepare_split(self.scale, self.dataset)
+        return self._split
+
+    # -- stage 2: train ---------------------------------------------------------------
+    def split_job(self, key: str, model_config, **fit_kwargs) -> TrainingJob:
+        """A single-UE job at this pipeline's scale (scenario channel)."""
+        return TrainingJob(
+            key=key,
+            config=ExperimentConfig.for_scenario(
+                self.scale.scenario,
+                model=model_config,
+                training=self.scale.training_config(),
+            ),
+            fit_kwargs=fit_kwargs,
+        )
+
+    def fleet_job(
+        self, key: str, fleet_config: FleetConfig, config: ExperimentConfig, **fit_kwargs
+    ) -> TrainingJob:
+        """A fleet job sharing this pipeline's scale."""
+        return TrainingJob(
+            key=key,
+            config=config,
+            kind="fleet",
+            fleet_config=fleet_config,
+            fit_kwargs=fit_kwargs,
+        )
+
+    def job_fingerprint(self, job: TrainingJob) -> str:
+        return trained_model_fingerprint(
+            self.scale,
+            job.config,
+            kind=job.kind,
+            fleet_config=job.fleet_config,
+            extra=dict(job.fit_kwargs),
+        )
+
+    def checkpoint_path(self, job: TrainingJob, fingerprint: str) -> Optional[Path]:
+        """Per-job checkpoint file under ``options.checkpoint_dir``.
+
+        The fingerprint rides in the filename, so a changed configuration
+        never resumes from a stale checkpoint — it simply starts fresh.
+        """
+        if self.options.checkpoint_dir is None:
+            return None
+        return Path(self.options.checkpoint_dir) / (
+            f"{_job_slug(job.key)}-{fingerprint}.npz"
+        )
+
+    def train(self, job: TrainingJob) -> TrainedModel:
+        """Run one training job through cache, checkpointing and resume.
+
+        Resolution order: a trained-model cache entry (a finished run's
+        checkpoint) is restored instantly; otherwise, with ``resume`` set, an
+        existing job checkpoint continues bit-identically; otherwise the job
+        trains from scratch.  Fresh results are stored back into the model
+        cache when one is configured.
+        """
+        fingerprint = self.job_fingerprint(job)
+        trainer = job.build_trainer()
+        checkpoint_path = self.checkpoint_path(job, fingerprint)
+        cache_path = (
+            trained_model_path(fingerprint, self.options.model_cache_dir)
+            if self.options.model_cache_dir is not None
+            else None
+        )
+
+        resume_from = None
+        cache_hit = False
+        if cache_path is not None and cache_path.exists():
+            resume_from = cache_path
+            cache_hit = True
+            logger.info("job %s: trained-model cache hit (%s)", job.key, fingerprint)
+        elif (
+            self.options.resume
+            and checkpoint_path is not None
+            and checkpoint_path.exists()
+        ):
+            resume_from = checkpoint_path
+            logger.info("job %s: resuming from %s", job.key, checkpoint_path)
+
+        history = trainer.fit(
+            self.split.train,
+            self.split.validation,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=self.options.checkpoint_every,
+            resume_from=resume_from,
+            **dict(job.fit_kwargs),
+        )
+        if cache_path is not None and not cache_hit:
+            trainer.final_checkpoint(history).save(cache_path)
+        return TrainedModel(
+            key=job.key,
+            trainer=trainer,
+            history=history,
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            resumed=resume_from is not None and not cache_hit,
+        )
+
+    # -- stage 3: evaluate ------------------------------------------------------------
+    def evaluate(self, trained: TrainedModel, sequences) -> float:
+        """Validation RMSE (dB) via the shared normalized-eval path."""
+        return trained.trainer.evaluate(sequences)
+
+    def predict_dbm(self, trained: TrainedModel, sequences):
+        """Denormalized predictions via the shared normalized-eval path."""
+        return trained.trainer.predict_dbm(sequences)
+
+
+# -- stage 4: artifact ----------------------------------------------------------------
+
+
+def write_artifact(artifact: Dict[str, object], path: str | os.PathLike) -> Path:
+    """Write an artifact JSON atomically and return the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    os.replace(temporary, path)
+    return path
+
+
+# -- experiment registry --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: how to run it and how to summarize it.
+
+    ``run(scale=..., dataset=..., options=..., **run_kwargs)`` produces the
+    experiment's result object; ``metrics(result)`` flattens it into the
+    scalar mapping used by sweep cells and the pipeline-CLI artifact.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    metrics: Callable[[Any], Dict[str, float]]
+    run_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def run_cell(
+        self,
+        scale: ExperimentScale,
+        dataset: Optional[DepthPowerDataset] = None,
+        options: Optional[PipelineOptions] = None,
+    ) -> Dict[str, float]:
+        """Run the experiment and return its flattened metrics."""
+        result = self.run(
+            scale=scale, dataset=dataset, options=options, **dict(self.run_kwargs)
+        )
+        return {key: float(value) for key, value in self.metrics(result).items()}
+
+
+def experiment_specs() -> Dict[str, ExperimentSpec]:
+    """The built-in experiments (imported lazily to avoid import cycles)."""
+    from repro.experiments import (
+        fig2_feature_maps,
+        fig3a_learning_curves,
+        fig3b_power_prediction,
+        fig_fleet_scaling,
+        table1_privacy_success,
+    )
+
+    return {
+        "fig2": ExperimentSpec(
+            name="fig2",
+            run=fig2_feature_maps.run_fig2,
+            metrics=fig2_feature_maps.result_metrics,
+        ),
+        "fig3a": ExperimentSpec(
+            name="fig3a",
+            run=fig3a_learning_curves.run_fig3a,
+            metrics=fig3a_learning_curves.result_metrics,
+        ),
+        "fig3b": ExperimentSpec(
+            name="fig3b",
+            run=fig3b_power_prediction.run_fig3b,
+            metrics=fig3b_power_prediction.result_metrics,
+        ),
+        "fleet": ExperimentSpec(
+            name="fleet",
+            run=fig_fleet_scaling.run_fleet_scaling,
+            metrics=fig_fleet_scaling.result_metrics,
+            # The sweep's historical fleet cell: N in {1, 2, 4}, both modes.
+            run_kwargs={"ue_counts": (1, 2, 4)},
+        ),
+        "table1": ExperimentSpec(
+            name="table1",
+            run=table1_privacy_success.run_table1,
+            metrics=table1_privacy_success.result_metrics,
+        ),
+    }
+
+
+# -- CLI ------------------------------------------------------------------------------
+
+
+def add_run_state_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--checkpoint-dir`` / ``--resume`` / cache flags.
+
+    Used by every experiment CLI (this module, the fleet-scaling CLI and the
+    sweep) so run-state persistence is one flag set everywhere.
+    """
+    group = parser.add_argument_group("run-state persistence")
+    group.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write epoch-granular training checkpoints under DIR",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from existing checkpoints/artifacts instead of restarting",
+    )
+    group.add_argument(
+        "--model-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed trained-model cache directory",
+    )
+
+
+def options_from_args(args: argparse.Namespace, **overrides) -> PipelineOptions:
+    """Build :class:`PipelineOptions` from parsed shared CLI flags."""
+    values = dict(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=bool(args.resume),
+        model_cache_dir=args.model_cache_dir,
+    )
+    values.update(overrides)
+    return PipelineOptions(**values)
+
+

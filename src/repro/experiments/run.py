@@ -1,0 +1,111 @@
+"""Unified experiment-runner CLI over the shared pipeline.
+
+Runs any registered experiment (``fig2`` / ``fig3a`` / ``fig3b`` / ``table1``
+/ ``fleet``) through :class:`repro.experiments.pipeline.ExperimentPipeline`,
+with one flag set for run-state persistence::
+
+    python -m repro.experiments.run --experiment fig3a --scale fast \
+        --checkpoint-dir ckpts --resume --output fig3a.json
+
+``--checkpoint-dir`` writes an epoch-granular checkpoint per training job;
+a killed run re-executed with ``--resume`` continues each job from its last
+checkpoint and produces the identical artifact.  ``--model-cache-dir``
+enables the content-addressed trained-model cache, so re-running the same
+experiment (or a sweep sharing the cache) skips training entirely.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.common import scale_from_name
+from repro.experiments.pipeline import (
+    PIPELINE_ARTIFACT_SCHEMA_VERSION,
+    add_run_state_arguments,
+    experiment_specs,
+    options_from_args,
+    write_artifact,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run",
+        description="Run one paper experiment through the unified pipeline.",
+    )
+    parser.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(experiment_specs()),
+        help="experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        default="fast",
+        choices=("paper", "fast", "smoke"),
+        help="experiment scale (default: fast)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="paper_baseline",
+        metavar="NAME",
+        help="registered scenario name (default: paper_baseline)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N", help="base RNG seed"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="artifact JSON path (default: <experiment>-<scale>.json)",
+    )
+    parser.add_argument(
+        "--dataset-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="dataset cache directory (default: generate without caching)",
+    )
+    parser.add_argument(
+        "--force-regenerate",
+        action="store_true",
+        help="ignore cached datasets and regenerate",
+    )
+    add_run_state_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = experiment_specs()[args.experiment]
+    scale = scale_from_name(args.scale).with_scenario(args.scenario)
+    if args.seed is not None:
+        scale = scale.with_seed(args.seed)
+    options = options_from_args(
+        args,
+        dataset_cache_dir=args.dataset_cache_dir,
+        force_regenerate=args.force_regenerate,
+    )
+    metrics = spec.run_cell(scale, options=options)
+    artifact = {
+        "schema_version": PIPELINE_ARTIFACT_SCHEMA_VERSION,
+        "experiment": spec.name,
+        "scale": args.scale,
+        "scenario": scale.scenario,
+        "seed": scale.seed,
+        "metrics": metrics,
+    }
+    output = args.output or f"{spec.name}-{args.scale}.json"
+    write_artifact(artifact, output)
+    try:
+        for key in sorted(metrics):
+            print(f"{key:<48s} {metrics[key]:>12.4f}")
+        print(f"artifact written to {output}")
+    except BrokenPipeError:  # pragma: no cover - e.g. `... | head`
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,30 +1,43 @@
 """Parallel multi-scenario / multi-seed sweep orchestrator.
 
 ``run_sweep`` executes a {scenario x seed} grid of one experiment runner
-(``fig2`` / ``fig3a`` / ``fig3b`` / ``table1``), farming cells out to a
-``concurrent.futures`` process pool.  Datasets flow through the
+(``fig2`` / ``fig3a`` / ``fig3b`` / ``table1`` / ``fleet``), farming cells out
+to a ``concurrent.futures`` process pool.  Datasets flow through the
 content-addressed on-disk cache (:mod:`repro.dataset.cache`), so repeated
 sweeps — and different experiments over the same {scenario, seed, scale} —
 skip generation entirely.  The result is an aggregated JSON artifact with
 per-cell metrics plus mean/std/min/max across seeds for every scenario.
 
+Sweeps are **resumable**: with an ``--output`` path, per-cell completion is
+persisted into the artifact file incrementally (atomically, after every
+cell), and re-running with ``--resume`` skips the completed cells.  With a
+``--checkpoint-dir``, the in-flight cells' training jobs also resume from
+their last epoch checkpoint (see :mod:`repro.experiments.pipeline`), so a
+killed sweep loses at most the epochs since the last checkpoint.  Use
+:func:`canonical_artifact` to compare artifacts across runs: a resumed sweep
+reproduces the uninterrupted sweep's canonical artifact byte for byte
+(timing/cache metadata necessarily differs).
+
 CLI::
 
     python -m repro.experiments.sweep \
         --scenarios paper_baseline dense_crowd --seeds 2 \
-        --experiment fig3b --scale fast --output sweep.json
+        --experiment fig3b --scale fast --output sweep.json \
+        --checkpoint-dir ckpts --resume
 
 ``--list-scenarios`` prints the registered catalog.
 """
 from __future__ import annotations
 
 import argparse
+import copy
+import inspect
 import json
 import multiprocessing
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -32,114 +45,49 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.dataset.cache import config_fingerprint, dataset_cache_path, get_or_generate
-from repro.dataset.generator import DepthPowerDataset
-from repro.experiments.common import ExperimentScale, prepare_split, scale_from_name
-from repro.experiments.fig2_feature_maps import run_fig2
-from repro.experiments.fig3a_learning_curves import run_fig3a
-from repro.experiments.fig3b_power_prediction import run_fig3b
-from repro.experiments.fig_fleet_scaling import run_fleet_scaling
-from repro.experiments.table1_privacy_success import run_table1
+from repro.experiments.common import ExperimentScale, scale_from_name
+from repro.experiments.pipeline import (
+    PipelineOptions,
+    add_run_state_arguments,
+    experiment_specs,
+    write_artifact,
+)
 from repro.scenarios import get_scenario, scenario_names
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.sweep")
 
 #: Version of the artifact JSON layout.  v2 added the per-scheme streaming
-#: communication metrics (``comm_*`` keys, from the geometric-sampling ARQ)
-#: to the fig3a cell metrics.
-ARTIFACT_SCHEMA_VERSION = 2
+#: communication metrics (``comm_*`` keys) to the fig3a cell metrics; v3 adds
+#: the optional top-level ``resume`` bookkeeping block on resumed sweeps (the
+#: cell schema is unchanged).
+ARTIFACT_SCHEMA_VERSION = 3
 
-MetricFn = Callable[[ExperimentScale, DepthPowerDataset], Dict[str, float]]
+#: Top-level artifact keys that describe the run environment, not the
+#: science; :func:`canonical_artifact` strips them.
+VOLATILE_ARTIFACT_KEYS = ("wall_clock_s", "parallel", "max_workers", "resume")
 
+#: Per-cell keys that describe execution timing/caching, not the science.
+VOLATILE_CELL_KEYS = ("dataset_seconds", "experiment_seconds", "dataset_cache_hit")
 
-# -- experiment metric extractors ---------------------------------------------------
-
-
-def _metrics_fig2(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
-    result = run_fig2(scale, dataset=dataset)
-    metrics: Dict[str, float] = {}
-    for pooling, item in result.per_pooling.items():
-        prefix = f"pool_{pooling}x{pooling}"
-        metrics[f"{prefix}/values_per_image"] = float(item.values_per_image)
-        metrics[f"{prefix}/mean_spatial_variance"] = float(item.mean_spatial_variance)
-        metrics[f"{prefix}/mean_entropy_bits"] = float(item.mean_entropy_bits)
-    return metrics
+MetricFn = Callable[..., Dict[str, float]]
 
 
-def _metrics_fig3a(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
-    split = prepare_split(scale, dataset)
-    result = run_fig3a(scale, split=split)
-    metrics: Dict[str, float] = {}
-    for name, history in result.histories.items():
-        metrics[f"{name}/final_rmse_db"] = float(history.final_rmse_db)
-        metrics[f"{name}/best_rmse_db"] = float(history.best_rmse_db)
-        metrics[f"{name}/elapsed_s"] = float(history.total_elapsed_s)
-        metrics[f"{name}/epochs"] = float(len(history.records))
-        metrics[f"{name}/lost_steps"] = float(
-            sum(record.lost_steps for record in history.records)
-        )
-        communication = history.communication
-        if communication is not None and communication.steps:
-            metrics[f"{name}/comm_mean_slots_per_step"] = float(
-                communication.mean_slots_per_step
-            )
-            metrics[f"{name}/comm_slots_std"] = float(communication.slots_std)
-            metrics[f"{name}/comm_mean_step_latency_s"] = float(
-                communication.mean_step_latency_s
-            )
-            metrics[f"{name}/comm_downlink_skipped"] = float(
-                communication.downlink_skipped
-            )
-    return metrics
+def _spec_metric_fn(spec) -> MetricFn:
+    """Adapt an :class:`~repro.experiments.pipeline.ExperimentSpec` to the
+    sweep's ``(scale, dataset, options=None) -> metrics`` contract."""
 
+    def metric_fn(
+        scale: ExperimentScale, dataset, options: Optional[PipelineOptions] = None
+    ) -> Dict[str, float]:
+        return spec.run_cell(scale, dataset=dataset, options=options)
 
-def _metrics_fig3b(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
-    result = run_fig3b(scale, dataset=dataset)
-    metrics: Dict[str, float] = {}
-    for name, prediction in result.predictions.items():
-        metrics[f"{name}/rmse_db"] = float(prediction.rmse_db)
-        metrics[f"{name}/transition_rmse_db"] = float(prediction.transition_rmse_db)
-    return metrics
-
-
-def _metrics_table1(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
-    result = run_table1(scale, dataset=dataset)
-    metrics: Dict[str, float] = {}
-    for pooling, row in result.rows.items():
-        prefix = f"pool_{pooling}x{pooling}"
-        metrics[f"{prefix}/privacy_leakage"] = float(row.privacy_leakage)
-        metrics[f"{prefix}/success_probability"] = float(row.success_probability)
-    return metrics
-
-
-def _metrics_fleet(scale: ExperimentScale, dataset: DepthPowerDataset) -> Dict[str, float]:
-    split = prepare_split(scale, dataset)
-    result = run_fleet_scaling(scale, split=split, ue_counts=(1, 2, 4))
-    metrics: Dict[str, float] = {}
-    for (mode, num_ues), history in result.histories.items():
-        prefix = f"{mode}/n{num_ues}"
-        metrics[f"{prefix}/final_rmse_db"] = float(history.final_rmse_db)
-        metrics[f"{prefix}/best_rmse_db"] = float(history.best_rmse_db)
-        metrics[f"{prefix}/elapsed_s"] = float(history.total_elapsed_s)
-        metrics[f"{prefix}/rounds"] = float(len(history.records))
-        metrics[f"{prefix}/medium_occupancy"] = float(history.medium_occupancy)
-        communication = history.communication
-        if communication is not None and communication.steps:
-            metrics[f"{prefix}/comm_mean_slots_per_step"] = float(
-                communication.mean_slots_per_step
-            )
-            metrics[f"{prefix}/comm_mean_step_latency_s"] = float(
-                communication.mean_step_latency_s
-            )
-    return metrics
+    metric_fn.__name__ = f"metrics_{spec.name}"
+    return metric_fn
 
 
 EXPERIMENTS: Dict[str, MetricFn] = {
-    "fig2": _metrics_fig2,
-    "fig3a": _metrics_fig3a,
-    "fig3b": _metrics_fig3b,
-    "fleet": _metrics_fleet,
-    "table1": _metrics_table1,
+    name: _spec_metric_fn(spec) for name, spec in experiment_specs().items()
 }
 
 #: Names registered (or overridden) at runtime.  These only reach pool
@@ -152,6 +100,9 @@ _RUNTIME_EXPERIMENTS: set = set()
 def register_experiment(name: str, runner: MetricFn, overwrite: bool = False) -> None:
     """Register a custom sweep experiment: ``runner(scale, dataset) -> metrics``.
 
+    Runners may also accept an ``options`` keyword (a
+    :class:`~repro.experiments.pipeline.PipelineOptions`) to participate in
+    checkpointing/resume; two-argument runners keep working unchanged.
     Custom experiments run in the process pool only where the ``fork`` start
     method is available (workers inherit the registry); on spawn-only
     platforms :func:`run_sweep` executes them serially.
@@ -160,6 +111,26 @@ def register_experiment(name: str, runner: MetricFn, overwrite: bool = False) ->
         raise ValueError(f"experiment {name!r} is already registered")
     EXPERIMENTS[name] = runner
     _RUNTIME_EXPERIMENTS.add(name)
+
+
+def _call_metric_fn(
+    fn: MetricFn,
+    scale: ExperimentScale,
+    dataset,
+    options: Optional[PipelineOptions],
+) -> Dict[str, float]:
+    """Invoke a metric fn, passing ``options`` only when its signature accepts it."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        parameters = {}
+    accepts_options = "options" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    if accepts_options:
+        return fn(scale, dataset, options=options)
+    return fn(scale, dataset)
 
 
 # -- sweep configuration ------------------------------------------------------------
@@ -174,7 +145,8 @@ class SweepConfig:
             rows; normalized to names at construction.
         seeds: base RNG seeds forming the grid columns.
         experiment: experiment key (``fig2`` / ``fig3a`` / ``fig3b`` /
-            ``table1`` or anything added via :func:`register_experiment`).
+            ``table1`` / ``fleet`` or anything added via
+            :func:`register_experiment`).
         scale: experiment scale name (``paper`` / ``fast`` / ``smoke``).
         parallel: run cells in a process pool (serial when False).
         max_workers: process-pool size (default: ``min(cells, max(CPUs, 2))``
@@ -182,7 +154,16 @@ class SweepConfig:
             single-CPU hosts).
         cache_dir: dataset cache directory (default: the library cache).
         output_path: artifact JSON destination (``None`` = do not write).
+            Completed cells are persisted into this file incrementally, which
+            is what makes the sweep resumable.
         force_regenerate: bypass the dataset cache.
+        resume: skip cells already completed in the artifact at
+            ``output_path`` and resume in-flight training jobs from their
+            checkpoints under ``checkpoint_dir``.
+        checkpoint_dir: root directory for per-cell training checkpoints
+            (``None`` disables epoch-granular checkpointing).
+        model_cache_dir: content-addressed trained-model cache shared across
+            sweeps (``None`` disables it).
     """
 
     scenarios: tuple
@@ -194,6 +175,9 @@ class SweepConfig:
     cache_dir: Optional[str] = None
     output_path: Optional[str] = None
     force_regenerate: bool = False
+    resume: bool = False
+    checkpoint_dir: Optional[str] = None
+    model_cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if not tuple(self.scenarios):
@@ -228,6 +212,8 @@ class SweepConfig:
         scale_from_name(self.scale)  # validates the name
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if self.resume and self.output_path is None:
+            raise ValueError("resume requires an output_path to read back")
 
     @property
     def num_cells(self) -> int:
@@ -249,6 +235,27 @@ class _CellSpec:
     scale: str
     cache_dir: Optional[str]
     force_regenerate: bool
+    checkpoint_root: Optional[str] = None
+    resume: bool = False
+    model_cache_dir: Optional[str] = None
+
+
+def _cell_options(spec: _CellSpec) -> Optional[PipelineOptions]:
+    """Run-state persistence options for one cell (``None`` = vanilla run)."""
+    if not (spec.checkpoint_root or spec.model_cache_dir or spec.resume):
+        return None
+    checkpoint_dir = None
+    if spec.checkpoint_root is not None:
+        cell_key = (
+            f"{spec.experiment}-{spec.scale}-"
+            f"{spec.scenario.fingerprint}-s{spec.seed}"
+        )
+        checkpoint_dir = os.path.join(spec.checkpoint_root, cell_key)
+    return PipelineOptions(
+        checkpoint_dir=checkpoint_dir,
+        resume=spec.resume,
+        model_cache_dir=spec.model_cache_dir,
+    )
 
 
 def _execute_cell(spec: _CellSpec) -> Dict[str, object]:
@@ -272,7 +279,9 @@ def _execute_cell(spec: _CellSpec) -> Dict[str, object]:
     )
     dataset_seconds = time.perf_counter() - dataset_start
     experiment_start = time.perf_counter()
-    metrics = EXPERIMENTS[spec.experiment](scale, dataset)
+    metrics = _call_metric_fn(
+        EXPERIMENTS[spec.experiment], scale, dataset, _cell_options(spec)
+    )
     experiment_seconds = time.perf_counter() - experiment_start
     return {
         "scenario": spec.scenario.name,
@@ -312,6 +321,92 @@ def _aggregate_cells(cells: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, 
     return aggregate
 
 
+# -- resume bookkeeping ---------------------------------------------------------------
+
+
+def _load_completed_cells(config: SweepConfig) -> Dict[str, Dict[str, object]]:
+    """Completed cells (by dataset fingerprint) from a previous artifact.
+
+    Accepts both a partial artifact (a sweep killed mid-run) and a final one
+    (re-running a finished sweep skips everything).  A mismatched experiment
+    or scale invalidates the artifact: the sweep restarts from scratch.
+    """
+    path = Path(config.output_path)
+    if not path.exists():
+        return {}
+    try:
+        stored = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        logger.warning("unreadable artifact %s; restarting the sweep", path)
+        return {}
+    if (
+        stored.get("experiment") != config.experiment
+        or stored.get("scale") != config.scale
+    ):
+        logger.warning(
+            "artifact %s belongs to a different sweep "
+            "(experiment/scale mismatch); restarting",
+            path,
+        )
+        return {}
+    if stored.get("partial"):
+        cells = stored.get("completed_cells", [])
+    else:
+        cells = [
+            cell
+            for entry in stored.get("scenarios", {}).values()
+            for cell in entry.get("cells", [])
+            if "deduplicated_from" not in cell
+        ]
+    completed: Dict[str, Dict[str, object]] = {}
+    for cell in cells:
+        fingerprint = cell.get("dataset_fingerprint")
+        if fingerprint and "metrics" in cell:
+            completed[str(fingerprint)] = cell
+    return completed
+
+
+def _persist_partial(
+    config: SweepConfig, unique_cells: Sequence[Optional[Dict[str, object]]]
+) -> None:
+    """Atomically persist the completed cells so far into the artifact file."""
+    if config.output_path is None:
+        return
+    write_artifact(
+        {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "experiment": config.experiment,
+            "scale": config.scale,
+            "seeds": list(config.seeds),
+            "partial": True,
+            "completed_cells": [cell for cell in unique_cells if cell is not None],
+        },
+        config.output_path,
+    )
+
+
+def canonical_artifact(artifact: Dict[str, object]) -> Dict[str, object]:
+    """The artifact minus run-environment metadata (timings, pool shape,
+    cache hits, resume bookkeeping).
+
+    Two sweeps over the same grid — serial or parallel, fresh or resumed —
+    produce byte-identical canonical artifacts
+    (``json.dumps(..., sort_keys=True)``), which is how the kill-and-resume
+    CI smoke and the equivalence tests compare runs.
+    """
+    canonical = copy.deepcopy(artifact)
+    for key in VOLATILE_ARTIFACT_KEYS:
+        canonical.pop(key, None)
+    for entry in canonical.get("scenarios", {}).values():
+        for cell in entry.get("cells", []):
+            for key in VOLATILE_CELL_KEYS:
+                cell.pop(key, None)
+    return canonical
+
+
+# -- orchestration --------------------------------------------------------------------
+
+
 def run_sweep(config: SweepConfig) -> Dict[str, object]:
     """Execute the sweep grid and return (and optionally write) the artifact."""
     scenarios = [get_scenario(name) for name in config.scenarios]
@@ -323,6 +418,9 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
             scale=config.scale,
             cache_dir=config.cache_dir,
             force_regenerate=config.force_regenerate,
+            checkpoint_root=config.checkpoint_dir,
+            resume=config.resume,
+            model_cache_dir=config.model_cache_dir,
         )
         for scenario in scenarios
         for seed in config.seeds
@@ -334,6 +432,7 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
     unique_index: Dict[str, int] = {}
     assignment: List[int] = []
     unique_specs: List[_CellSpec] = []
+    unique_fingerprints: List[str] = []
     for spec in specs:
         cell_scale = (
             scale_from_name(spec.scale)
@@ -344,6 +443,7 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
         if fingerprint not in unique_index:
             unique_index[fingerprint] = len(unique_specs)
             unique_specs.append(spec)
+            unique_fingerprints.append(fingerprint)
         assignment.append(unique_index[fingerprint])
     if len(unique_specs) < len(specs):
         logger.info(
@@ -353,12 +453,29 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
             len(unique_specs),
         )
 
+    # Resume: pre-fill cells already completed by a previous (partial or
+    # finished) run of the same sweep.
+    completed = _load_completed_cells(config) if config.resume else {}
+    unique_cells: List[Optional[Dict[str, object]]] = [
+        completed.get(fingerprint) for fingerprint in unique_fingerprints
+    ]
+    skipped = sum(1 for cell in unique_cells if cell is not None)
+    if config.resume:
+        logger.info(
+            "resume: skipping %d of %d unique cells already completed",
+            skipped,
+            len(unique_specs),
+        )
+    pending = [
+        index for index, cell in enumerate(unique_cells) if cell is None
+    ]
+
     # At least two workers whenever parallelism is requested: even on a
     # single-CPU host the cells interleave (dataset generation releases the
     # GIL-free process boundary) and the orchestration path stays exercised.
     default_workers = max(os.cpu_count() or 1, 2)
-    workers = min(config.max_workers or default_workers, len(unique_specs))
-    use_pool = config.parallel and workers > 1 and len(unique_specs) > 1
+    workers = min(config.max_workers or default_workers, max(len(pending), 1))
+    use_pool = config.parallel and workers > 1 and len(pending) > 1
     context = _pool_context()
     if (
         use_pool
@@ -375,14 +492,35 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
         use_pool = False
     start = time.perf_counter()
     if use_pool:
-        logger.info(
-            "running %d sweep cells on %d workers", len(unique_specs), workers
-        )
+        logger.info("running %d sweep cells on %d workers", len(pending), workers)
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            unique_cells = list(pool.map(_execute_cell, unique_specs))
+            futures = {
+                pool.submit(_execute_cell, unique_specs[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            failure: Optional[BaseException] = None
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        unique_cells[futures[future]] = future.result()
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        failure = failure or exc
+                # Persist after every completion batch — including the
+                # successes that share a batch with a failed cell — so a
+                # kill or cell error loses no completed work.
+                _persist_partial(config, unique_cells)
+                if failure is not None:
+                    for future in remaining:  # skip cells not yet started
+                        future.cancel()
+                    raise failure
     else:
-        logger.info("running %d sweep cells serially", len(unique_specs))
-        unique_cells = [_execute_cell(spec) for spec in unique_specs]
+        if pending:
+            logger.info("running %d sweep cells serially", len(pending))
+        for index in pending:
+            unique_cells[index] = _execute_cell(unique_specs[index])
+            _persist_partial(config, unique_cells)
     wall_clock_s = time.perf_counter() - start
 
     cells = []
@@ -427,19 +565,14 @@ def run_sweep(config: SweepConfig) -> Dict[str, object]:
             for scenario in scenarios
         },
     }
+    if config.resume:
+        artifact["resume"] = {
+            "skipped_cells": skipped,
+            "executed_cells": len(pending),
+        }
     if config.output_path is not None:
         write_artifact(artifact, config.output_path)
     return artifact
-
-
-def write_artifact(artifact: Dict[str, object], path: str | os.PathLike) -> Path:
-    """Write the artifact JSON atomically and return the final path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-    os.replace(temporary, path)
-    return path
 
 
 def format_summary(artifact: Dict[str, object]) -> str:
@@ -450,6 +583,11 @@ def format_summary(artifact: Dict[str, object]) -> str:
         f"wall-clock={artifact['wall_clock_s']:.1f}s "
         f"({'parallel x' + str(artifact['max_workers']) if artifact['parallel'] else 'serial'})"
     ]
+    if "resume" in artifact:
+        lines.append(
+            f"  resume: skipped {artifact['resume']['skipped_cells']} completed "
+            f"cells, executed {artifact['resume']['executed_cells']}"
+        )
     for name, entry in artifact["scenarios"].items():
         hits = sum(1 for cell in entry["cells"] if cell["dataset_cache_hit"])
         lines.append(
@@ -536,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered scenario catalog and exit",
     )
+    add_run_state_arguments(parser)
     return parser
 
 
@@ -559,6 +698,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=args.cache_dir,
         output_path=output,
         force_regenerate=args.force_regenerate,
+        resume=bool(args.resume),
+        checkpoint_dir=args.checkpoint_dir,
+        model_cache_dir=args.model_cache_dir,
     )
     artifact = run_sweep(config)
     try:

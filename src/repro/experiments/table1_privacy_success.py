@@ -27,7 +27,8 @@ from repro.channel.link import decoding_success_probability
 from repro.channel.params import PAPER_CHANNEL_PARAMS, WirelessChannelParams
 from repro.channel.payload import PayloadModel
 from repro.dataset.generator import DepthPowerDataset
-from repro.experiments.common import ExperimentScale, generate_dataset
+from repro.experiments.common import ExperimentScale
+from repro.experiments.pipeline import ExperimentPipeline, PipelineOptions
 from repro.privacy.leakage import PrivacyLeakageEvaluator, correlation_leakage
 from repro.split.ue import UEClient
 from repro.utils.seeding import as_generator
@@ -137,6 +138,7 @@ def run_table1(
     batch_size: int = 64,
     channel: Optional[WirelessChannelParams] = None,
     num_leakage_images: int = 120,
+    options: Optional[PipelineOptions] = None,
 ) -> Table1Result:
     """Regenerate Table 1 at the requested scale.
 
@@ -147,10 +149,11 @@ def run_table1(
     The channel defaults to the scale's scenario channel (the paper's
     parameters for ``paper_baseline``).
     """
-    scale = scale or ExperimentScale.fast()
+    pipeline = ExperimentPipeline(scale, options, dataset=dataset)
+    scale = pipeline.scale
     if channel is None:
         channel = scale.resolve_scenario().channel
-    dataset = dataset if dataset is not None else generate_dataset(scale)
+    dataset = pipeline.dataset
     poolings = poolings or scale.valid_poolings()
 
     # Prefer frames with pedestrians in view: those are the privacy-sensitive
@@ -205,6 +208,16 @@ def run_table1(
             expected_uplink_latency_s=expected_slots * channel.slot_duration_s,
         )
     return result
+
+
+def result_metrics(result: Table1Result) -> dict:
+    """Flatten a :class:`Table1Result` into sweep-cell metrics."""
+    metrics: dict = {}
+    for pooling, row in result.rows.items():
+        prefix = f"pool_{pooling}x{pooling}"
+        metrics[f"{prefix}/privacy_leakage"] = float(row.privacy_leakage)
+        metrics[f"{prefix}/success_probability"] = float(row.success_probability)
+    return metrics
 
 
 def run_paper_success_probabilities(

@@ -25,7 +25,12 @@ from repro.scenarios.placement import fleet_channel_params
 from repro.split.config import ExperimentConfig
 from repro.split.protocol import SplitTrainingProtocol
 from repro.fleet.config import FleetConfig
-from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.seeding import (
+    as_generator,
+    capture_generator_state,
+    restore_generator_state,
+    spawn_generators,
+)
 
 #: Salt for the members-1..N-1 seed sequence (weight init, channel, batches).
 FLEET_STREAM_SALT = 0xF1EE7
@@ -182,6 +187,40 @@ class UEFleet:
         for member in self.members:
             member.ue.set_weights(averaged)
         self._weight_holder = 0
+
+    # -- run state --------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete restorable fleet state.
+
+        The shared BS is stored once; each member contributes its private
+        half (UE weights + optimizer, ARQ session, batch stream).
+        """
+        return {
+            "bs": self.bs.state_dict(),
+            "weight_holder": self._weight_holder,
+            "members": {
+                str(member.index): {
+                    "protocol": member.protocol.state_dict(include_bs=False),
+                    "batch_rng": capture_generator_state(member.batch_rng),
+                }
+                for member in self.members
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore fleet state captured by :meth:`state_dict`."""
+        members = state["members"]
+        if len(members) != self.num_ues:
+            raise ValueError(
+                f"checkpoint holds {len(members)} members, this fleet has "
+                f"{self.num_ues}"
+            )
+        self.bs.load_state_dict(state["bs"])
+        self._weight_holder = int(state["weight_holder"])
+        for member in self.members:
+            member_state = members[str(member.index)]
+            member.protocol.load_state_dict(member_state["protocol"])
+            restore_generator_state(member.batch_rng, member_state["batch_rng"])
 
     # -- statistics -------------------------------------------------------------------
     def reset_statistics(self) -> None:

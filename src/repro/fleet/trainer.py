@@ -26,7 +26,8 @@ fraction of its duration the medium was busy.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace as dataclass_replace
+import os
+from dataclasses import asdict, dataclass, field, replace as dataclass_replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,13 +37,19 @@ from repro.dataset.sequences import SequenceDataset
 from repro.fleet.config import PARALLEL_AVERAGE, ROTATION, FleetConfig
 from repro.fleet.fleet import FleetMember, UEFleet, shard_indices
 from repro.fleet.scheduler import MediumScheduler, scheduler_from_name
-from repro.nn.metrics import root_mean_squared_error
+from repro.split.checkpoint import (
+    FLEET_KIND,
+    Checkpoint,
+    CheckpointLike,
+    resolve_checkpoint,
+)
 from repro.split.config import ExperimentConfig
 from repro.split.normalization import PowerNormalizer
+from repro.split.protocol import SplitTrainingProtocol
 from repro.split.trainer import (
     LearningCurveMixin,
+    NormalizedEvaluationMixin,
     normalized_training_inputs,
-    predict_sequences_dbm,
 )
 from repro.utils.logging import get_logger
 
@@ -103,8 +110,32 @@ class FleetHistory(LearningCurveMixin):
             return 0.0
         return self.medium_busy_s / self.total_elapsed_s
 
+    def state_dict(self) -> dict:
+        """JSON-able history-so-far (for checkpoints; excludes the end-of-run
+        totals and statistics, which ``fit`` re-derives on completion)."""
+        return {
+            "scheme": self.scheme,
+            "num_ues": self.num_ues,
+            "mode": self.mode,
+            "scheduler": self.scheduler,
+            "records": [asdict(record) for record in self.records],
+            "reached_target": self.reached_target,
+        }
 
-class FleetTrainer:
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetHistory":
+        """Rebuild a history captured by :meth:`state_dict`."""
+        return cls(
+            scheme=str(state["scheme"]),
+            num_ues=int(state["num_ues"]),
+            mode=str(state["mode"]),
+            scheduler=str(state["scheduler"]),
+            records=[FleetRoundRecord(**record) for record in state["records"]],
+            reached_target=bool(state["reached_target"]),
+        )
+
+
+class FleetTrainer(NormalizedEvaluationMixin):
     """Trains a fleet of UE clients against one shared BS.
 
     Args:
@@ -148,14 +179,79 @@ class FleetTrainer:
             targets[indices],
         )
 
+    # -- run state --------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete restorable trainer state (see :mod:`repro.split.checkpoint`)."""
+        state = {"fleet": self.fleet.state_dict()}
+        normalizer = self._normalizer_state()
+        if normalizer is not None:
+            state["normalizer"] = normalizer
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore trainer state captured by :meth:`state_dict`."""
+        self.fleet.load_state_dict(state["fleet"])
+        self._restore_normalizer(state)
+
+    def _capture_checkpoint(
+        self, history: FleetHistory, round_index: int, elapsed_s: float, busy_s: float
+    ) -> Checkpoint:
+        return Checkpoint(
+            kind=FLEET_KIND,
+            progress=round_index,
+            elapsed_s=elapsed_s,
+            history=history.state_dict(),
+            state=self.state_dict(),
+            meta={
+                "scheme": history.scheme,
+                "num_ues": history.num_ues,
+                "mode": history.mode,
+                "scheduler": history.scheduler,
+                "medium_busy_s": busy_s,
+            },
+        )
+
+    def final_checkpoint(self, history: FleetHistory) -> Checkpoint:
+        """Checkpoint of a finished ``fit`` (the trained-model cache entry)."""
+        progress = history.records[-1].round if history.records else 0
+        return self._capture_checkpoint(
+            history, progress, history.total_elapsed_s, history.medium_busy_s
+        )
+
+    def _restore_checkpoint(self, checkpoint: Checkpoint) -> FleetHistory:
+        expected = {
+            "scheme": self.config.model.describe(),
+            "num_ues": self.fleet.num_ues,
+            "mode": self.fleet_config.mode,
+            "scheduler": self.fleet_config.scheduler,
+        }
+        for key, value in expected.items():
+            stored = checkpoint.meta.get(key)
+            if stored != value:
+                raise ValueError(
+                    f"checkpoint {key} is {stored!r}, this trainer runs {value!r}"
+                )
+        self.load_state_dict(checkpoint.state)
+        return FleetHistory.from_state(checkpoint.history)
+
     # -- training ---------------------------------------------------------------------
     def fit(
         self,
         train: SequenceDataset,
         validation: SequenceDataset,
         max_rounds: Optional[int] = None,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[CheckpointLike] = None,
     ) -> FleetHistory:
-        """Train until the validation RMSE target or the round budget is hit."""
+        """Train until the validation RMSE target or the round budget is hit.
+
+        ``checkpoint_path`` / ``checkpoint_every`` / ``resume_from`` follow
+        :meth:`repro.split.trainer.SplitTrainer.fit`, at round granularity: a
+        resumed fleet run (either mode) reproduces the uninterrupted run's
+        history and final weights bit for bit, given the same data.
+        """
         training = self.config.training
         fleet_config = self.fleet_config
         if max_rounds is None:
@@ -169,24 +265,39 @@ class FleetTrainer:
             if fleet_config.steps_per_turn is not None
             else training.steps_per_epoch
         )
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
 
-        self.normalizer = PowerNormalizer.fit(train.power_sequences, train.targets)
+        if resume_from is not None:
+            checkpoint = resolve_checkpoint(resume_from, FLEET_KIND)
+            history = self._restore_checkpoint(checkpoint)
+            elapsed_s = checkpoint.elapsed_s
+            busy_total_s = float(checkpoint.meta["medium_busy_s"])
+            start_round = checkpoint.progress
+        else:
+            self.normalizer = PowerNormalizer.fit(
+                train.power_sequences, train.targets
+            )
+            self.fleet.reset_statistics()
+            history = FleetHistory(
+                scheme=self.config.model.describe(),
+                num_ues=self.fleet.num_ues,
+                mode=fleet_config.mode,
+                scheduler=fleet_config.scheduler,
+            )
+            elapsed_s = 0.0
+            busy_total_s = 0.0
+            start_round = 0
+
         images, powers, targets = self._prepare_inputs(train)
         shards = shard_indices(len(train), self.fleet.num_ues)
         batch_sizes = [
             min(training.batch_size, len(shard)) for shard in shards
         ]
-        self.fleet.reset_statistics()
 
-        history = FleetHistory(
-            scheme=self.config.model.describe(),
-            num_ues=self.fleet.num_ues,
-            mode=fleet_config.mode,
-            scheduler=fleet_config.scheduler,
-        )
-        elapsed_s = 0.0
-        busy_total_s = 0.0
-        for round_index in range(1, max_rounds + 1):
+        for round_index in range(start_round + 1, max_rounds + 1):
+            if history.reached_target:
+                break
             if fleet_config.mode == ROTATION:
                 losses, lost, duration, busy, steps = self._rotation_round(
                     shards, batch_sizes, steps_per_turn, images, powers, targets
@@ -223,6 +334,15 @@ class FleetTrainer:
             )
             if validation_rmse <= training.target_rmse_db:
                 history.reached_target = True
+            if checkpoint_path is not None and (
+                history.reached_target
+                or round_index == max_rounds
+                or round_index % checkpoint_every == 0
+            ):
+                self._capture_checkpoint(
+                    history, round_index, elapsed_s, busy_total_s
+                ).save(checkpoint_path)
+            if history.reached_target:
                 break
 
         history.total_elapsed_s = elapsed_s
@@ -433,24 +553,13 @@ class FleetTrainer:
         return loss_value, lost, duration, busy
 
     # -- evaluation -------------------------------------------------------------------
-    def predict_dbm(self, sequences: SequenceDataset) -> np.ndarray:
-        """Predict received power in dBm using the current logical model.
+    def _evaluation_protocol(self) -> SplitTrainingProtocol:
+        """Protocol of the member holding the freshest logical model.
 
         Rotation mode evaluates the member holding the freshest weights;
         parallel-average mode evaluates member 0 (all members are identical
-        right after the per-round averaging).
+        right after the per-round averaging).  ``predict_dbm``/``evaluate``
+        come from :class:`~repro.split.trainer.NormalizedEvaluationMixin` —
+        the eval path shared with the single-UE trainer.
         """
-        if self.normalizer is None:
-            raise RuntimeError("the trainer has not been fitted yet")
-        holder = self.fleet.members[self.fleet.weight_holder]
-        return predict_sequences_dbm(
-            holder.protocol,
-            self.normalizer,
-            sequences,
-            self.config.training.eval_batch_size,
-        )
-
-    def evaluate(self, sequences: SequenceDataset) -> float:
-        """Validation RMSE in dB (predictions and targets in dBm)."""
-        predictions = self.predict_dbm(sequences)
-        return root_mean_squared_error(predictions, sequences.targets)
+        return self.fleet.members[self.fleet.weight_holder].protocol

@@ -5,7 +5,7 @@ momentum SGD and RMSProp are provided for ablations and tests.
 """
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -14,6 +14,10 @@ from repro.nn.layers.base import Parameter
 
 class Optimizer:
     """Base optimizer operating on a list of :class:`Parameter` objects."""
+
+    #: Names of scalar hyper-parameter attributes included in the state dict
+    #: (extended by subclasses).
+    _hyperparameter_names: tuple = ("learning_rate",)
 
     def __init__(self, parameters: Iterable[Parameter], learning_rate: float):
         self.parameters: List[Parameter] = list(parameters)
@@ -36,6 +40,67 @@ class Optimizer:
 
     def _update(self) -> None:
         raise NotImplementedError
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        """Per-parameter slot buffers keyed by slot name (extended by subclasses)."""
+        return {}
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Complete restorable state: hyper-parameters, step count, slot buffers.
+
+        Every entry is an :class:`numpy.ndarray` (scalars as 0-d arrays), so
+        the state embeds directly into ``.npz`` archives and the nested state
+        trees written by :func:`repro.nn.serialization.save_state`.
+        """
+        state: Dict[str, np.ndarray] = {
+            "step_count": np.asarray(self.step_count, dtype=np.int64)
+        }
+        for name in self._hyperparameter_names:
+            state[f"hyper/{name}"] = np.asarray(float(getattr(self, name)))
+        for slot, buffers in self._slots().items():
+            for index, buffer in enumerate(buffers):
+                state[f"slot/{slot}/{index}"] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Stepping after a restore continues the original trajectory exactly:
+        slot buffers are copied in place, bias-correction counters resume at
+        the stored step count, and hyper-parameters take the stored values.
+
+        Raises:
+            KeyError: when a required entry is missing.
+            ValueError: on slot shape mismatch or leftover (extra) entries.
+        """
+        expected = {"step_count"}
+        expected.update(f"hyper/{name}" for name in self._hyperparameter_names)
+        expected.update(
+            f"slot/{slot}/{index}"
+            for slot, buffers in self._slots().items()
+            for index in range(len(buffers))
+        )
+        missing = expected - set(state)
+        if missing:
+            raise KeyError(f"missing optimizer state entries: {sorted(missing)}")
+        extra = set(state) - expected
+        if extra:
+            raise ValueError(
+                f"unexpected optimizer state entries (wrong optimizer or "
+                f"parameter count?): {sorted(extra)}"
+            )
+        for name in self._hyperparameter_names:
+            setattr(self, name, float(np.asarray(state[f"hyper/{name}"])))
+        for slot, buffers in self._slots().items():
+            for index, buffer in enumerate(buffers):
+                value = np.asarray(state[f"slot/{slot}/{index}"], dtype=np.float64)
+                if value.shape != buffer.shape:
+                    raise ValueError(
+                        f"shape mismatch for optimizer slot {slot}[{index}]: "
+                        f"expected {buffer.shape}, got {value.shape}"
+                    )
+                buffer[...] = value
+        self.step_count = int(np.asarray(state["step_count"]))
 
     def clip_gradients(self, max_norm: float) -> float:
         """Scale all gradients so their global L2 norm is at most ``max_norm``.
@@ -77,6 +142,11 @@ class MomentumSGD(Optimizer):
         self.momentum = float(momentum)
         self._velocity = [np.zeros_like(p.value) for p in self.parameters]
 
+    _hyperparameter_names = Optimizer._hyperparameter_names + ("momentum",)
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"velocity": self._velocity}
+
     def _update(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             velocity *= self.momentum
@@ -100,6 +170,11 @@ class RMSProp(Optimizer):
         self.decay = float(decay)
         self.epsilon = float(epsilon)
         self._second_moment = [np.zeros_like(p.value) for p in self.parameters]
+
+    _hyperparameter_names = Optimizer._hyperparameter_names + ("decay", "epsilon")
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"second_moment": self._second_moment}
 
     def _update(self) -> None:
         for param, moment in zip(self.parameters, self._second_moment):
@@ -132,6 +207,18 @@ class Adam(Optimizer):
         self.epsilon = float(epsilon)
         self._first_moment = [np.zeros_like(p.value) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.value) for p in self.parameters]
+
+    _hyperparameter_names = Optimizer._hyperparameter_names + (
+        "beta1",
+        "beta2",
+        "epsilon",
+    )
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {
+            "first_moment": self._first_moment,
+            "second_moment": self._second_moment,
+        }
 
     def _update(self) -> None:
         bias_correction1 = 1.0 - self.beta1**self.step_count

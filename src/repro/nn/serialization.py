@@ -1,20 +1,77 @@
-"""Parameter (de)serialization for models built from :class:`Sequential` stacks."""
+"""Parameter and run-state (de)serialization for the numpy model substrate.
+
+Two levels of persistence live here:
+
+* :func:`save_parameters` / :func:`load_parameters` — just the trainable
+  parameters of one layer stack, the classic weights file.
+* :func:`save_state` / :func:`load_state` — a complete restorable training
+  state: model parameters, optimizer state (slot buffers, step count,
+  hyper-parameters) and RNG stream position (via
+  :func:`repro.utils.seeding.capture_generator_state`), in one archive.
+
+Both write atomically (temporary file + ``os.replace``, the same discipline as
+the dataset cache), so a process killed mid-write never leaves a corrupt file
+behind — at worst the previous archive survives intact.
+
+Arbitrary nested state trees (dicts of arrays, scalars, strings, lists —
+anything JSON-serializable at the leaves) are flattened into ``.npz`` archives
+by :func:`save_state_tree` / :func:`load_state_tree`; the trainer checkpoints
+are built on top of these.
+"""
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.nn.layers.base import Layer
+from repro.nn.optim import Optimizer
+from repro.utils.seeding import capture_generator_state, restore_generator_state
+
+#: Key suffix marking a JSON-encoded (non-array) leaf in a flattened tree.
+_JSON_SUFFIX = ":json"
+
+#: Separator between nesting levels in flattened keys.
+_SEPARATOR = "//"
+
+
+def _npz_path(path: str | os.PathLike) -> str:
+    """Normalize ``path`` to the ``.npz`` name :func:`numpy.savez` produces."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    return path
+
+
+def _atomic_savez(path: str, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write an ``.npz`` archive atomically (tmp file + ``os.replace``)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temporary = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp-{os.getpid()}.npz"
+    )
+    try:
+        np.savez(temporary, **arrays)
+        os.replace(temporary, path)
+    except BaseException:
+        if os.path.exists(temporary):
+            os.remove(temporary)
+        raise
 
 
 def save_parameters(layer: Layer, path: str | os.PathLike) -> None:
-    """Persist a layer's (or container's) parameters to a ``.npz`` file."""
+    """Persist a layer's (or container's) parameters to a ``.npz`` file.
+
+    The write is atomic: a kill mid-write leaves either the old file or the
+    new one, never a truncated archive.
+    """
     state = layer.state_dict()
     if not state:
         raise ValueError(f"layer {layer.name!r} has no parameters to save")
-    np.savez(path, **state)
+    _atomic_savez(_npz_path(path), state)
 
 
 def load_parameters(layer: Layer, path: str | os.PathLike) -> None:
@@ -43,3 +100,154 @@ def parameters_allclose(layer_a: Layer, layer_b: Layer, atol: float = 1e-12) -> 
     return all(
         np.allclose(state_a[key], state_b[key], atol=atol) for key in state_a
     )
+
+
+# -- nested state trees ---------------------------------------------------------------
+
+
+def flatten_state_tree(tree: Mapping[str, Any]) -> Dict[str, np.ndarray]:
+    """Flatten a nested state tree into an ``.npz``-compatible flat mapping.
+
+    Dict nesting becomes ``//``-separated keys; array leaves are stored as
+    is; every other leaf (scalars, strings, lists, dicts of plain data such
+    as RNG states) is JSON-encoded under a ``:json``-suffixed key.
+    """
+    flat: Dict[str, np.ndarray] = {}
+
+    def visit(node: Mapping[str, Any], prefix: str) -> None:
+        if not node:
+            flat[prefix.rstrip("/") + _JSON_SUFFIX] = np.array(json.dumps({}))
+            return
+        for key, value in node.items():
+            if not isinstance(key, str) or not key:
+                raise TypeError(f"state-tree keys must be non-empty str, got {key!r}")
+            if _SEPARATOR in key or key.endswith(_JSON_SUFFIX):
+                raise ValueError(f"reserved characters in state-tree key {key!r}")
+            full = f"{prefix}{key}"
+            if isinstance(value, Mapping) and not _is_json_leaf(value):
+                visit(value, full + _SEPARATOR)
+            elif isinstance(value, np.ndarray):
+                flat[full] = value
+            else:
+                flat[full + _JSON_SUFFIX] = np.array(json.dumps(value))
+
+    visit(tree, "")
+    return flat
+
+
+def _is_json_leaf(value: Mapping) -> bool:
+    """Mappings with no ndarray anywhere inside are stored as one JSON leaf.
+
+    RNG states and history records are small plain-data dicts; keeping them
+    as single JSON entries preserves their exact structure (including big
+    ints beyond float64) through the archive round trip.
+    """
+
+    def contains_array(node) -> bool:
+        if isinstance(node, np.ndarray):
+            return True
+        if isinstance(node, Mapping):
+            return any(contains_array(item) for item in node.values())
+        if isinstance(node, (list, tuple)):
+            return any(contains_array(item) for item in node)
+        return False
+
+    return not contains_array(value)
+
+
+def unflatten_state_tree(flat: Mapping[str, np.ndarray]) -> Dict[str, Any]:
+    """Rebuild the nested tree written by :func:`flatten_state_tree`."""
+    tree: Dict[str, Any] = {}
+    for key in sorted(flat):
+        value: Any = flat[key]
+        if key.endswith(_JSON_SUFFIX):
+            key = key[: -len(_JSON_SUFFIX)]
+            value = json.loads(str(np.asarray(value)[()]))
+        parts = key.split(_SEPARATOR) if key else [""]
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        if parts[-1] == "" and isinstance(value, dict):
+            node.update(value)
+        else:
+            node[parts[-1]] = value
+    return tree
+
+
+def save_state_tree(path: str | os.PathLike, tree: Mapping[str, Any]) -> str:
+    """Atomically persist a nested state tree as an ``.npz`` archive."""
+    path = _npz_path(path)
+    _atomic_savez(path, flatten_state_tree(tree))
+    return path
+
+
+def load_state_tree(path: str | os.PathLike) -> Dict[str, Any]:
+    """Load a nested state tree written by :func:`save_state_tree`."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        flat = {key: archive[key] for key in archive.files}
+    return unflatten_state_tree(flat)
+
+
+# -- unified training state -----------------------------------------------------------
+
+
+def save_state(
+    path: str | os.PathLike,
+    *,
+    model: Optional[Layer] = None,
+    optimizer: Optional[Optimizer] = None,
+    rng: Optional[np.random.Generator] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Persist a complete training state in one atomic archive.
+
+    Any subset of {model, optimizer, rng} can be provided; ``extra`` is an
+    arbitrary nested state tree stored alongside (e.g. epoch counters).
+    Restore with :func:`load_state` passing the same kinds of objects.
+    """
+    if model is None and optimizer is None and rng is None and extra is None:
+        raise ValueError("nothing to save: pass model, optimizer, rng or extra")
+    tree: Dict[str, Any] = {}
+    if model is not None:
+        tree["model"] = model.state_dict()
+    if optimizer is not None:
+        tree["optimizer"] = optimizer.state_dict()
+    if rng is not None:
+        tree["rng"] = capture_generator_state(rng)
+    if extra is not None:
+        tree["extra"] = dict(extra)
+    return save_state_tree(path, tree)
+
+
+def load_state(
+    path: str | os.PathLike,
+    *,
+    model: Optional[Layer] = None,
+    optimizer: Optional[Optimizer] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, Any]:
+    """Restore a training state saved with :func:`save_state`.
+
+    Each provided object is restored in place from its archive section (a
+    missing section raises ``KeyError``).  Returns the full state tree, so
+    callers can read ``tree.get("extra", {})`` for their own bookkeeping.
+    """
+    tree = load_state_tree(path)
+    if model is not None:
+        if "model" not in tree:
+            raise KeyError(f"{path!s} holds no model state")
+        model.load_state_dict(tree["model"])
+    if optimizer is not None:
+        if "optimizer" not in tree:
+            raise KeyError(f"{path!s} holds no optimizer state")
+        optimizer.load_state_dict(tree["optimizer"])
+    if rng is not None:
+        if "rng" not in tree:
+            raise KeyError(f"{path!s} holds no RNG state")
+        restore_generator_state(rng, tree["rng"])
+    return tree

@@ -1,5 +1,6 @@
 """Core package: the multimodal split-learning framework of the paper."""
 from repro.split.bs import BSServer
+from repro.split.checkpoint import CHECKPOINT_VERSION, Checkpoint
 from repro.split.config import (
     PAPER_MAX_EPOCHS,
     PAPER_TARGET_RMSE_DB,
@@ -19,13 +20,21 @@ from repro.split.predictors import (
     predictor_for_scheme,
 )
 from repro.split.protocol import SplitTrainingProtocol, StepResult
-from repro.split.trainer import EpochRecord, SplitTrainer, TrainingHistory
+from repro.split.trainer import (
+    EpochRecord,
+    NormalizedEvaluationMixin,
+    SplitTrainer,
+    TrainingHistory,
+)
 from repro.split.ue import UEClient
 
 __all__ = [
     "BSServer",
     "BasePredictor",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
     "EpochRecord",
+    "NormalizedEvaluationMixin",
     "ExperimentConfig",
     "ImageOnlyPredictor",
     "ModelConfig",

@@ -161,6 +161,19 @@ class BSServer:
         """Restore RNN parameters saved with :meth:`save_weights`."""
         load_parameters(self.rnn, path)
 
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Complete restorable server state: RNN weights and optimizer state."""
+        state: Dict[str, Dict[str, np.ndarray]] = {"model": self.rnn.state_dict()}
+        if self.optimizer is not None:
+            state["optimizer"] = self.optimizer.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.rnn.load_state_dict(state["model"])
+        if self.optimizer is not None:
+            self.optimizer.load_state_dict(state["optimizer"])
+
     def train(self) -> "BSServer":
         self.rnn.train()
         return self

@@ -271,6 +271,33 @@ class SplitTrainingProtocol:
             self.train()
         return predictions
 
+    # -- (de)serialization -------------------------------------------------------------
+    def state_dict(self, include_bs: bool = True) -> dict:
+        """Complete restorable protocol state.
+
+        Covers the UE half (weights + optimizer), the BS half (unless
+        ``include_bs=False`` — the fleet stores its shared BS once, outside
+        the per-member protocols) and the ARQ session (fading RNG streams and
+        aggregate statistics).
+        """
+        state: dict = {}
+        if self.ue is not None:
+            state["ue"] = self.ue.state_dict()
+        if include_bs:
+            state["bs"] = self.bs.state_dict()
+        if self.arq is not None:
+            state["arq"] = self.arq.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore protocol state captured by :meth:`state_dict`."""
+        if self.ue is not None:
+            self.ue.load_state_dict(state["ue"])
+        if "bs" in state:
+            self.bs.load_state_dict(state["bs"])
+        if self.arq is not None:
+            self.arq.load_state_dict(state["arq"])
+
     # -- mode switches ---------------------------------------------------------------------
     @property
     def training_mode(self) -> bool:

@@ -10,7 +10,8 @@ the paper's learning curves (Fig. 3a).
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -18,11 +19,16 @@ import numpy as np
 from repro.channel.arq import ArqStatistics
 from repro.dataset.sequences import SequenceDataset
 from repro.nn.metrics import root_mean_squared_error
+from repro.split.checkpoint import SPLIT_KIND, Checkpoint, CheckpointLike, resolve_checkpoint
 from repro.split.config import ExperimentConfig
 from repro.split.normalization import PowerNormalizer
 from repro.split.protocol import SplitTrainingProtocol
 from repro.utils.logging import get_logger
-from repro.utils.seeding import as_generator
+from repro.utils.seeding import (
+    as_generator,
+    capture_generator_state,
+    restore_generator_state,
+)
 
 logger = get_logger("split.trainer")
 
@@ -132,8 +138,68 @@ class TrainingHistory(LearningCurveMixin):
     total_elapsed_s: float = 0.0
     communication: Optional[ArqStatistics] = None
 
+    def state_dict(self) -> dict:
+        """JSON-able history-so-far (for checkpoints; excludes the end-of-run
+        ``total_elapsed_s``/``communication``, which ``fit`` re-derives)."""
+        return {
+            "scheme": self.scheme,
+            "records": [asdict(record) for record in self.records],
+            "reached_target": self.reached_target,
+        }
 
-class SplitTrainer:
+    @classmethod
+    def from_state(cls, state: dict) -> "TrainingHistory":
+        """Rebuild a history captured by :meth:`state_dict`."""
+        return cls(
+            scheme=str(state["scheme"]),
+            records=[EpochRecord(**record) for record in state["records"]],
+            reached_target=bool(state["reached_target"]),
+        )
+
+
+class NormalizedEvaluationMixin:
+    """The single normalized-eval code path shared by every trainer.
+
+    Both trainers (and, through them, every experiment runner) evaluate by
+    denormalizing protocol predictions back to dBm and scoring RMSE against
+    the raw targets.  Subclasses provide ``normalizer``, ``config`` and the
+    protocol holding the freshest weights via :meth:`_evaluation_protocol`.
+    """
+
+    normalizer: Optional[PowerNormalizer]
+    config: ExperimentConfig
+
+    def _evaluation_protocol(self) -> SplitTrainingProtocol:
+        raise NotImplementedError
+
+    def predict_dbm(self, sequences: SequenceDataset) -> np.ndarray:
+        """Predict received power in dBm for every window of ``sequences``."""
+        if self.normalizer is None:
+            raise RuntimeError("the trainer has not been fitted yet")
+        return predict_sequences_dbm(
+            self._evaluation_protocol(),
+            self.normalizer,
+            sequences,
+            self.config.training.eval_batch_size,
+        )
+
+    def evaluate(self, sequences: SequenceDataset) -> float:
+        """Validation RMSE in dB (predictions and targets in dBm)."""
+        predictions = self.predict_dbm(sequences)
+        return root_mean_squared_error(predictions, sequences.targets)
+
+    # -- normalizer (de)serialization, shared by both trainers' checkpoints --------
+    def _normalizer_state(self) -> Optional[dict]:
+        """JSON-able normalizer state (``None`` before the first fit)."""
+        return None if self.normalizer is None else asdict(self.normalizer)
+
+    def _restore_normalizer(self, state: dict) -> None:
+        """Restore the normalizer from a trainer state tree, when present."""
+        if "normalizer" in state:
+            self.normalizer = PowerNormalizer(**state["normalizer"])
+
+
+class SplitTrainer(NormalizedEvaluationMixin):
     """Trains a split model on sequence datasets with simulated wall-clock time.
 
     Args:
@@ -154,30 +220,115 @@ class SplitTrainer:
             self.config.model, self.normalizer, sequences
         )
 
+    # -- run state ----------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete restorable trainer state (see :mod:`repro.split.checkpoint`)."""
+        state = {
+            "protocol": self.protocol.state_dict(),
+            "batch_rng": capture_generator_state(self._rng),
+        }
+        normalizer = self._normalizer_state()
+        if normalizer is not None:
+            state["normalizer"] = normalizer
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore trainer state captured by :meth:`state_dict`."""
+        self.protocol.load_state_dict(state["protocol"])
+        restore_generator_state(self._rng, state["batch_rng"])
+        self._restore_normalizer(state)
+
+    def _capture_checkpoint(
+        self, history: TrainingHistory, epoch: int, elapsed_s: float
+    ) -> Checkpoint:
+        return Checkpoint(
+            kind=SPLIT_KIND,
+            progress=epoch,
+            elapsed_s=elapsed_s,
+            history=history.state_dict(),
+            state=self.state_dict(),
+            meta={"scheme": history.scheme},
+        )
+
+    def final_checkpoint(self, history: TrainingHistory) -> Checkpoint:
+        """Checkpoint of a finished ``fit`` (the trained-model cache entry).
+
+        Resuming from it returns ``history`` immediately — which is how the
+        experiment pipeline serves trained-model cache hits.
+        """
+        progress = history.records[-1].epoch if history.records else 0
+        return self._capture_checkpoint(history, progress, history.total_elapsed_s)
+
+    def _restore_checkpoint(self, checkpoint: Checkpoint) -> TrainingHistory:
+        expected = self.config.model.describe()
+        stored = checkpoint.meta.get("scheme")
+        if stored != expected:
+            raise ValueError(
+                f"checkpoint was written for scheme {stored!r}, this trainer "
+                f"runs {expected!r}"
+            )
+        self.load_state_dict(checkpoint.state)
+        return TrainingHistory.from_state(checkpoint.history)
+
     # -- training -----------------------------------------------------------------------
     def fit(
         self,
         train: SequenceDataset,
         validation: SequenceDataset,
         max_epochs: Optional[int] = None,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[CheckpointLike] = None,
     ) -> TrainingHistory:
-        """Train until the validation RMSE target or the epoch budget is hit."""
+        """Train until the validation RMSE target or the epoch budget is hit.
+
+        Args:
+            train / validation: sequence datasets (when resuming, pass the
+                *same* data the checkpointed run used).
+            max_epochs: epoch budget (default: the training config's).
+            checkpoint_path: when set, an epoch-granular :class:`Checkpoint`
+                is written (atomically) to this path every
+                ``checkpoint_every`` epochs and at the end of the run.
+            checkpoint_every: checkpoint cadence in epochs.
+            resume_from: a :class:`Checkpoint` (or path to one) produced by a
+                previous ``fit`` with the same configuration and data.  The
+                continued run draws the same RNG streams the uninterrupted
+                run would have drawn, so the resulting history and final
+                weights are bit-identical to never having stopped.  A
+                checkpoint of a finished run returns its history immediately.
+        """
         training = self.config.training
         model = self.config.model
         max_epochs = training.max_epochs if max_epochs is None else max_epochs
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
 
-        self.normalizer = PowerNormalizer.fit(train.power_sequences, train.targets)
+        if resume_from is not None:
+            checkpoint = resolve_checkpoint(resume_from, SPLIT_KIND)
+            history = self._restore_checkpoint(checkpoint)
+            elapsed_s = checkpoint.elapsed_s
+            start_epoch = checkpoint.progress
+        else:
+            self.normalizer = PowerNormalizer.fit(
+                train.power_sequences, train.targets
+            )
+            if self.protocol.arq is not None:
+                # Each fresh fit() accounts its own communication: stale
+                # counts from a previous run on the same trainer must not
+                # leak into this one.  (A resumed fit keeps the restored
+                # counts — they belong to this run.)
+                self.protocol.arq.reset_statistics()
+            history = TrainingHistory(scheme=model.describe())
+            elapsed_s = 0.0
+            start_epoch = 0
+
         train_images, train_powers, train_targets = self._prepare_inputs(train)
-        if self.protocol.arq is not None:
-            # Each fit() accounts its own communication: stale counts from a
-            # previous run on the same trainer must not leak into this one.
-            self.protocol.arq.reset_statistics()
-
-        history = TrainingHistory(scheme=model.describe())
-        elapsed_s = 0.0
         batch_size = min(training.batch_size, len(train))
 
-        for epoch in range(1, max_epochs + 1):
+        for epoch in range(start_epoch + 1, max_epochs + 1):
+            if history.reached_target:
+                break
             epoch_losses: List[float] = []
             lost_steps = 0
             for _ in range(training.steps_per_epoch):
@@ -219,6 +370,15 @@ class SplitTrainer:
             )
             if validation_rmse <= training.target_rmse_db:
                 history.reached_target = True
+            if checkpoint_path is not None and (
+                history.reached_target
+                or epoch == max_epochs
+                or epoch % checkpoint_every == 0
+            ):
+                self._capture_checkpoint(history, epoch, elapsed_s).save(
+                    checkpoint_path
+                )
+            if history.reached_target:
                 break
 
         history.total_elapsed_s = elapsed_s
@@ -229,18 +389,11 @@ class SplitTrainer:
         return history
 
     # -- evaluation -----------------------------------------------------------------------
-    def predict_dbm(self, sequences: SequenceDataset) -> np.ndarray:
-        """Predict received power in dBm for every window of ``sequences``."""
-        if self.normalizer is None:
-            raise RuntimeError("the trainer has not been fitted yet")
-        return predict_sequences_dbm(
-            self.protocol,
-            self.normalizer,
-            sequences,
-            self.config.training.eval_batch_size,
-        )
+    def _evaluation_protocol(self) -> SplitTrainingProtocol:
+        """Evaluation entry point of the single-UE trainer: its one protocol.
 
-    def evaluate(self, sequences: SequenceDataset) -> float:
-        """Validation RMSE in dB (predictions and targets in dBm)."""
-        predictions = self.predict_dbm(sequences)
-        return root_mean_squared_error(predictions, sequences.targets)
+        ``predict_dbm``/``evaluate`` come from
+        :class:`NormalizedEvaluationMixin` — the eval path shared with the
+        fleet trainer and the experiment pipeline.
+        """
+        return self.protocol

@@ -168,6 +168,24 @@ class UEClient:
         """Restore CNN parameters saved with :meth:`save_weights`."""
         load_parameters(self.cnn, path)
 
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Complete restorable client state: CNN weights and optimizer state.
+
+        Unlike :meth:`get_weights` (the hand-off payload), this includes the
+        Adam slot buffers and step count, so a restored client continues the
+        exact optimization trajectory.
+        """
+        state: Dict[str, Dict[str, np.ndarray]] = {"model": self.cnn.state_dict()}
+        if self.optimizer is not None:
+            state["optimizer"] = self.optimizer.state_dict()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.cnn.load_state_dict(state["model"])
+        if self.optimizer is not None:
+            self.optimizer.load_state_dict(state["optimizer"])
+
     def train(self) -> "UEClient":
         self.cnn.train()
         return self

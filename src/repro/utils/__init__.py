@@ -1,6 +1,11 @@
 """Shared utilities: unit conversions, seeding and logging."""
 from repro.utils.logging import enable_console_logging, get_logger
-from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.seeding import (
+    as_generator,
+    capture_generator_state,
+    restore_generator_state,
+    spawn_generators,
+)
 from repro.utils.units import (
     SPEED_OF_LIGHT,
     THERMAL_NOISE_DBM_PER_HZ,
@@ -18,6 +23,7 @@ __all__ = [
     "SPEED_OF_LIGHT",
     "THERMAL_NOISE_DBM_PER_HZ",
     "as_generator",
+    "capture_generator_state",
     "db_to_linear",
     "dbm_to_milliwatts",
     "dbm_to_watts",
@@ -28,6 +34,7 @@ __all__ = [
     "linear_to_db",
     "milliwatts_to_dbm",
     "noise_power_dbm",
+    "restore_generator_state",
     "spawn_generators",
     "watts_to_dbm",
 ]

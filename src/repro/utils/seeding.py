@@ -34,6 +34,34 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     raise TypeError(f"unsupported seed type: {type(seed)!r}")
 
 
+def capture_generator_state(generator: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's exact stream position.
+
+    The returned dict is the underlying bit generator's ``state`` mapping
+    (plain ints and strings), so it survives a JSON round trip — which is how
+    checkpoints embed RNG state inside ``.npz`` archives.
+    """
+    if not isinstance(generator, np.random.Generator):
+        raise TypeError(f"expected numpy Generator, got {type(generator)!r}")
+    return generator.bit_generator.state
+
+
+def restore_generator_state(
+    generator: np.random.Generator, state: dict
+) -> np.random.Generator:
+    """Restore a stream position captured by :func:`capture_generator_state`.
+
+    The generator subsequently produces exactly the draws the captured one
+    would have produced.  The bit-generator types must match (numpy refuses a
+    mismatched state), so checkpoints restore onto generators constructed the
+    same way as the originals.
+    """
+    if not isinstance(generator, np.random.Generator):
+        raise TypeError(f"expected numpy Generator, got {type(generator)!r}")
+    generator.bit_generator.state = state
+    return generator
+
+
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Create ``count`` statistically independent generators from one seed.
 

@@ -1,0 +1,114 @@
+"""Interrupt/resume tests for ``FleetTrainer.fit`` in both fleet modes."""
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fleet import FLEET_MODES, FleetConfig, FleetTrainer
+from repro.split import Checkpoint, ExperimentConfig, TrainingConfig
+
+MAX_ROUNDS = 3
+
+
+@pytest.fixture()
+def config(tiny_model_config):
+    return ExperimentConfig(
+        model=tiny_model_config,
+        training=TrainingConfig(
+            batch_size=16, max_epochs=MAX_ROUNDS, steps_per_epoch=2, seed=5
+        ),
+    )
+
+
+def records_of(history):
+    return [dataclasses.asdict(record) for record in history.records]
+
+
+def fleet_weights(trainer):
+    state = {f"bs.{k}": v for k, v in trainer.fleet.bs.get_weights().items()}
+    for member in trainer.fleet.members:
+        state.update(
+            {f"ue{member.index}.{k}": v for k, v in member.ue.get_weights().items()}
+        )
+    return state
+
+
+@pytest.mark.parametrize("mode", FLEET_MODES)
+def test_n2_resume_is_bit_identical(mode, config, small_split, tmp_path):
+    fleet_config = FleetConfig(num_ues=2, mode=mode)
+    reference_trainer = FleetTrainer(config, fleet_config)
+    reference = reference_trainer.fit(
+        small_split.train, small_split.validation, max_rounds=MAX_ROUNDS
+    )
+    assert len(reference.records) == MAX_ROUNDS
+    reference_weights = fleet_weights(reference_trainer)
+
+    for stop_after in range(1, MAX_ROUNDS):
+        path = tmp_path / f"{mode}-{stop_after}.npz"
+        FleetTrainer(config, fleet_config).fit(
+            small_split.train,
+            small_split.validation,
+            max_rounds=stop_after,
+            checkpoint_path=path,
+        )
+        resumed_trainer = FleetTrainer(config, fleet_config)
+        resumed = resumed_trainer.fit(
+            small_split.train,
+            small_split.validation,
+            max_rounds=MAX_ROUNDS,
+            resume_from=path,
+        )
+        assert records_of(resumed) == records_of(reference)
+        assert resumed.total_elapsed_s == reference.total_elapsed_s
+        assert resumed.medium_busy_s == reference.medium_busy_s
+        assert dataclasses.asdict(resumed.communication) == dataclasses.asdict(
+            reference.communication
+        )
+        assert [dataclasses.asdict(stats) for stats in resumed.per_ue_communication] == [
+            dataclasses.asdict(stats) for stats in reference.per_ue_communication
+        ]
+        restored = fleet_weights(resumed_trainer)
+        for key, value in reference_weights.items():
+            assert np.array_equal(value, restored[key]), (mode, stop_after, key)
+
+
+def test_rotation_checkpoint_preserves_weight_holder(config, small_split, tmp_path):
+    fleet_config = FleetConfig(num_ues=2, mode="rotation")
+    path = tmp_path / "rotation.npz"
+    trainer = FleetTrainer(config, fleet_config)
+    trainer.fit(
+        small_split.train, small_split.validation, max_rounds=1, checkpoint_path=path
+    )
+    holder = trainer.fleet.weight_holder
+    assert holder == 1  # the round ended on the last member's turn
+    restored = FleetTrainer(config, fleet_config)
+    restored.load_state_dict(Checkpoint.load(path).state)
+    assert restored.fleet.weight_holder == holder
+
+
+def test_checkpoint_rejects_mismatched_fleet_shape(config, small_split, tmp_path):
+    path = tmp_path / "n2.npz"
+    FleetTrainer(config, FleetConfig(num_ues=2, mode="rotation")).fit(
+        small_split.train, small_split.validation, max_rounds=1, checkpoint_path=path
+    )
+    with pytest.raises(ValueError, match="num_ues"):
+        FleetTrainer(config, FleetConfig(num_ues=3, mode="rotation")).fit(
+            small_split.train, small_split.validation, resume_from=path
+        )
+    with pytest.raises(ValueError, match="mode"):
+        FleetTrainer(config, FleetConfig(num_ues=2, mode="parallel_average")).fit(
+            small_split.train, small_split.validation, resume_from=path
+        )
+
+
+def test_split_checkpoint_rejected_by_fleet(config, small_split, tmp_path):
+    from repro.split import SplitTrainer
+
+    path = tmp_path / "split.npz"
+    SplitTrainer(config).fit(
+        small_split.train, small_split.validation, max_epochs=1, checkpoint_path=path
+    )
+    with pytest.raises(ValueError, match="fleet"):
+        FleetTrainer(config, FleetConfig(num_ues=2, mode="rotation")).fit(
+            small_split.train, small_split.validation, resume_from=path
+        )

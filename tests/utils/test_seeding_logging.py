@@ -6,9 +6,11 @@ import pytest
 
 from repro.utils import (
     as_generator,
+    capture_generator_state,
     disable_console_logging,
     enable_console_logging,
     get_logger,
+    restore_generator_state,
     spawn_generators,
 )
 
@@ -60,6 +62,33 @@ def test_spawn_generators_from_generator():
 def test_spawn_generators_negative_count():
     with pytest.raises(ValueError):
         spawn_generators(0, -1)
+
+
+def test_capture_restore_generator_state_resumes_stream():
+    generator = as_generator(123)
+    generator.random(10)  # advance mid-stream
+    state = capture_generator_state(generator)
+    expected = generator.random(5)
+    other = as_generator(999)
+    restore_generator_state(other, state)
+    assert np.array_equal(other.random(5), expected)
+
+
+def test_captured_state_survives_json_roundtrip():
+    import json
+
+    generator = as_generator(5)
+    state = json.loads(json.dumps(capture_generator_state(generator)))
+    expected = generator.random(4)
+    restored = restore_generator_state(as_generator(0), state)
+    assert np.array_equal(restored.random(4), expected)
+
+
+def test_capture_restore_reject_non_generators():
+    with pytest.raises(TypeError):
+        capture_generator_state(42)
+    with pytest.raises(TypeError):
+        restore_generator_state("rng", {})
 
 
 def test_get_logger_namespacing():

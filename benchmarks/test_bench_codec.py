@@ -1,0 +1,128 @@
+"""Benchmarks of the cut-layer payload codecs: slot savings and throughput.
+
+Two things are measured at the paper's hardest configuration (40x40 images,
+no pooling, L = 4):
+
+* **expected uplink slots** per training step for each codec's sized payload,
+  via :meth:`WirelessLink.expected_slots` — the quantity the ARQ layer
+  actually pays for.  The acceptance bar: uint8 must cut the expected uplink
+  slot count by >= 4x versus the float32 identity payload.
+* **codec throughput** — encoded+decoded values per second for each codec on
+  a cut-tensor-sized batch, to catch pathological slowdowns in the training
+  inner loop.
+
+The slot comparison uses a small minibatch: at the paper's batch of 64 the
+no-pooling float32 payload (13.1 Mbit) exceeds what a slot can ever carry,
+so *every* bit width is infeasible and the ratio is undefined.  At batch 4
+the float32 payload needs tens of expected slots while uint8 needs ~1.
+
+``REPRO_BENCH_SCALE=smoke`` shrinks the throughput sample counts.
+"""
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.channel import PAPER_CHANNEL_PARAMS, PayloadModel, WirelessLink
+from repro.experiments import ExperimentScale
+from repro.split.codecs import UPLINK_STREAM, codec_from_name
+
+#: Acceptance bar: uint8 expected uplink slots vs float32, at the paper's
+#: no-pooling configuration.
+MIN_UINT8_SLOT_REDUCTION = 4.0
+
+#: Minibatch used for the slot comparison (see module docstring).
+SLOT_BATCH_SIZE = 4
+
+CODECS = ("identity", "uint8", "int4", "topk")
+
+
+@dataclass
+class CodecRecord:
+    """One row of the codec table."""
+
+    codec: str
+    payload_bits: float
+    expected_slots: float
+    values_per_second: float
+
+
+def _cut_elements(batch_size: int) -> int:
+    """Cut-tensor element count at the paper's no-pooling configuration."""
+    payload = PayloadModel(pooling_height=1, pooling_width=1)
+    return payload.values_per_image * payload.sequence_length * batch_size
+
+
+def _throughput_repeats(scale: ExperimentScale) -> int:
+    if scale.num_samples <= ExperimentScale.smoke().num_samples:
+        return 3
+    return 10
+
+
+def _run_codec_suite(scale: ExperimentScale) -> List[CodecRecord]:
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink")
+    elements = _cut_elements(SLOT_BATCH_SIZE)
+    rng = np.random.default_rng(7)
+    values = rng.random((SLOT_BATCH_SIZE, 4, elements // (SLOT_BATCH_SIZE * 4)))
+    repeats = _throughput_repeats(scale)
+
+    records: List[CodecRecord] = []
+    for name in CODECS:
+        codec = codec_from_name(name)
+        payload_bits = codec.sized_payload_bits(elements)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            codec.encode_decode(values, UPLINK_STREAM)
+            best = min(best, time.perf_counter() - start)
+        records.append(
+            CodecRecord(
+                codec=name,
+                payload_bits=payload_bits,
+                expected_slots=link.expected_slots(payload_bits),
+                values_per_second=values.size / best,
+            )
+        )
+    return records
+
+
+def test_codec_slot_savings_and_throughput(benchmark, scale):
+    records = benchmark.pedantic(
+        lambda: _run_codec_suite(scale), rounds=1, iterations=1
+    )
+
+    print("\n=== cut-layer codecs (40x40 no pooling, batch "
+          f"{SLOT_BATCH_SIZE}) ===")
+    print(f"{'codec':<10s} {'payload bits':>13s} {'E[slots]':>9s} "
+          f"{'values/s':>12s}")
+    for record in records:
+        print(
+            f"{record.codec:<10s} {record.payload_bits:>13.0f} "
+            f"{record.expected_slots:>9.2f} {record.values_per_second:>10.0f}/s"
+        )
+
+    by_codec = {record.codec: record for record in records}
+    identity = by_codec["identity"]
+    uint8 = by_codec["uint8"]
+    assert math.isfinite(identity.expected_slots), (
+        "float32 payload must be feasible at the comparison batch size"
+    )
+    reduction = identity.expected_slots / uint8.expected_slots
+    # The acceptance bar: uint8 must cut expected uplink slots by >= 4x at
+    # the paper's no-pooling configuration (it is typically far more — the
+    # slot count is exponential in the payload size).
+    assert reduction >= MIN_UINT8_SLOT_REDUCTION, (
+        f"uint8 slot reduction {reduction:.1f}x below "
+        f"{MIN_UINT8_SLOT_REDUCTION}x"
+    )
+    # Smaller sized payloads can never expect more slots.
+    ordered = [by_codec[name] for name in ("identity", "uint8", "int4")]
+    for wide, narrow in zip(ordered, ordered[1:]):
+        assert narrow.payload_bits < wide.payload_bits
+        assert narrow.expected_slots <= wide.expected_slots
+    for record in records:
+        assert record.values_per_second > 0

@@ -15,6 +15,7 @@ from repro.channel.link import (
     INFEASIBLE_SUCCESS_PROBABILITY,
     TransmissionResult,
     WirelessLink,
+    decoding_success_probabilities,
     decoding_success_probability,
     snr_decoding_threshold,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "TransmissionResult",
     "WirelessChannelParams",
     "WirelessLink",
+    "decoding_success_probabilities",
     "decoding_success_probability",
     "slots_from_fading",
     "snr_decoding_threshold",

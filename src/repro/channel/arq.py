@@ -311,6 +311,20 @@ class ArqStatistics:
         }
 
 
+def _per_step_payload_bits(
+    payload_bits: float | np.ndarray, steps: int, name: str
+) -> float | np.ndarray:
+    """Validate a scalar-or-per-step payload-size argument."""
+    if np.ndim(payload_bits) == 0:
+        return payload_bits
+    bits = np.asarray(payload_bits, dtype=np.float64)
+    if bits.ndim != 1:
+        raise ValueError(f"{name} must be a scalar or one-dimensional")
+    if len(bits) != steps:
+        raise ValueError(f"{name} has {len(bits)} entries for steps={steps}")
+    return bits
+
+
 @dataclass
 class ArqSession:
     """Bidirectional ARQ session between UE and BS.
@@ -409,24 +423,36 @@ class ArqSession:
 
     def exchange_many(
         self,
-        uplink_payload_bits: float,
-        downlink_payload_bits: float,
+        uplink_payload_bits: float | np.ndarray,
+        downlink_payload_bits: float | np.ndarray,
         steps: int,
     ) -> BatchExchangeResult:
         """Vectorized multi-step exchange with the same gating as :meth:`exchange`.
 
-        Both directions draw their whole batch of fading gains at once; the
-        downlink batch covers only the steps whose uplink was decoded, in step
-        order, so the RNG streams — and therefore the sampled outcomes — are
-        identical to ``steps`` sequential :meth:`exchange` calls.
+        Either direction's payload size may be a scalar (every step moves the
+        same bits) or a length-``steps`` array of per-step sizes, as produced
+        by data-dependent codecs; a mismatched array length raises
+        ``ValueError``.  Both directions draw their whole batch of fading
+        gains at once; the downlink batch covers only the steps whose uplink
+        was decoded, in step order, so the RNG streams — and therefore the
+        sampled outcomes — are identical to ``steps`` sequential
+        :meth:`exchange` calls.
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
-        uplink = self.uplink.transmit_many(uplink_payload_bits, steps)
-        downlink = self.downlink.transmit_many(
-            downlink_payload_bits, uplink.num_successes
+        uplink_bits = _per_step_payload_bits(
+            uplink_payload_bits, steps, "uplink_payload_bits"
         )
+        downlink_bits = _per_step_payload_bits(
+            downlink_payload_bits, steps, "downlink_payload_bits"
+        )
+        uplink = self.uplink.transmit_many(uplink_bits, steps)
         mask = uplink.success
+        if np.ndim(downlink_bits) != 0:
+            downlink_bits = downlink_bits[mask]
+        downlink = self.downlink.transmit_many(
+            downlink_bits, uplink.num_successes
+        )
 
         downlink_slots = np.zeros(steps, dtype=np.int64)
         downlink_slots[mask] = downlink.slots_used

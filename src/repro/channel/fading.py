@@ -27,7 +27,9 @@ from repro.utils.seeding import (
 
 
 def slots_from_fading(
-    draws: np.ndarray, success_probability: float, mean: float = 1.0
+    draws: np.ndarray,
+    success_probability: float | np.ndarray,
+    mean: float = 1.0,
 ) -> np.ndarray:
     """Map exponential fading draws to ``Geometric(p)`` slot counts.
 
@@ -39,19 +41,28 @@ def slots_from_fading(
     Args:
         draws: exponential fading gains with mean ``mean``.
         success_probability: per-slot decoding success probability ``p`` in
-            ``(0, 1]``.
+            ``(0, 1]`` — a scalar shared by all draws, or an array
+            broadcastable against ``draws`` for per-payload probabilities
+            (variable payload sizes from data-dependent codecs).
         mean: mean of the exponential draws (the fading process mean).
 
     Returns:
         Slot counts as ``float64`` (values can exceed the ``int64`` range for
         vanishing ``p``; callers truncate or cap before integer conversion).
     """
-    if not 0.0 < success_probability <= 1.0:
+    probability = np.asarray(success_probability, dtype=np.float64)
+    if np.any((probability <= 0.0) | (probability > 1.0)):
         raise ValueError("success_probability must be in (0, 1]")
     draws = np.asarray(draws, dtype=np.float64)
-    if success_probability == 1.0:
-        return np.ones_like(draws)
-    rate = -math.log1p(-success_probability)
+    if probability.ndim == 0:
+        if probability == 1.0:
+            return np.ones_like(draws)
+        rate = -math.log1p(-probability)
+        return np.maximum(np.ceil(draws / (mean * rate)), 1.0)
+    # Per-element probabilities: p == 1 yields rate == inf, so the division
+    # collapses to 0 and the max() pins those entries at one slot.
+    with np.errstate(divide="ignore"):
+        rate = -np.log1p(-probability)
     return np.maximum(np.ceil(draws / (mean * rate)), 1.0)
 
 

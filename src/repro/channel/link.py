@@ -78,6 +78,32 @@ def decoding_success_probability(
     return float(np.exp(-threshold / mean_snr))
 
 
+def decoding_success_probabilities(
+    mean_snr: float,
+    payload_bits: np.ndarray,
+    slot_duration_s: float,
+    bandwidth_hz: float,
+) -> np.ndarray:
+    """Vectorized :func:`decoding_success_probability` over payload arrays.
+
+    Element-for-element identical to the scalar form (same overflow guard,
+    same ``pow``/``exp`` sequence), so mixed scalar/vector callers observe
+    the same probabilities bit for bit.
+    """
+    if mean_snr <= 0:
+        raise ValueError("mean_snr must be strictly positive")
+    if slot_duration_s <= 0 or bandwidth_hz <= 0:
+        raise ValueError("slot_duration_s and bandwidth_hz must be positive")
+    bits = np.asarray(payload_bits, dtype=np.float64)
+    if (bits < 0).any():
+        raise ValueError("payload_bits must be non-negative")
+    exponent = bits / (slot_duration_s * bandwidth_hz)
+    overflow = exponent > 1020
+    thresholds = np.power(2.0, np.where(overflow, 0.0, exponent)) - 1.0
+    thresholds = np.where(overflow, np.inf, thresholds)
+    return np.exp(-thresholds / mean_snr)
+
+
 @dataclass
 class TransmissionResult:
     """Outcome of transmitting one payload over the link with retransmissions.
@@ -246,16 +272,24 @@ class WirelessLink:
             first_attempt_success=slots == 1,
         )
 
-    def transmit_many(self, payload_bits: float, count: int) -> BatchTransmissionResult:
-        """Vectorized :meth:`transmit` of ``count`` equal-sized payloads.
+    def transmit_many(
+        self, payload_bits: float | np.ndarray, count: int
+    ) -> BatchTransmissionResult:
+        """Vectorized :meth:`transmit` of ``count`` payloads.
 
-        Draws the whole batch of fading gains in one call; element-for-element
-        the results (and the fading RNG stream) are identical to ``count``
-        sequential :meth:`transmit` calls.
+        ``payload_bits`` is either one scalar size shared by every payload or
+        a length-``count`` array of per-payload sizes (data-dependent codec
+        payloads); a mismatched array length raises ``ValueError``.  Draws
+        the whole batch of fading gains in one call; element-for-element the
+        results (and the fading RNG stream) are identical to ``count``
+        sequential :meth:`transmit` calls — in particular, declared-infeasible
+        payloads consume no fading draw on either path.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
         slot = self.params.slot_duration_s
+        if np.ndim(payload_bits) != 0:
+            return self._transmit_many_varying(payload_bits, count)
         if count == 0:
             return BatchTransmissionResult.empty()
         probability = self.success_probability(payload_bits)
@@ -278,6 +312,46 @@ class WirelessLink:
             slots = np.minimum(slots, float(cap))
         # With probability >= the feasibility floor, slot counts stay far
         # inside the int64 range (< ~1e14 even at the floor).
+        slots = slots.astype(np.int64)
+        return BatchTransmissionResult(
+            success=success,
+            slots_used=slots,
+            elapsed_s=slots * slot,
+            first_attempt_success=success & (slots == 1),
+        )
+
+    def _transmit_many_varying(
+        self, payload_bits: np.ndarray, count: int
+    ) -> BatchTransmissionResult:
+        """Array-payload half of :meth:`transmit_many` (per-payload sizes)."""
+        bits = np.asarray(payload_bits, dtype=np.float64)
+        if bits.ndim != 1:
+            raise ValueError("payload_bits must be a scalar or one-dimensional")
+        if len(bits) != count:
+            raise ValueError(
+                f"payload_bits has {len(bits)} entries for count={count}"
+            )
+        if count == 0:
+            return BatchTransmissionResult.empty()
+        slot = self.params.slot_duration_s
+        probabilities = decoding_success_probabilities(
+            self._mean_snr, bits, self.params.slot_duration_s, self.bandwidth_hz
+        )
+        feasible = probabilities >= INFEASIBLE_SUCCESS_PROBABILITY
+        slots = np.ones(count, dtype=np.float64)
+        success = np.zeros(count, dtype=bool)
+        if feasible.any():
+            # One draw per feasible payload, in payload order — infeasible
+            # entries skip the stream exactly like scalar transmit() does.
+            gains = self.fading.sample(int(feasible.sum()))
+            slots[feasible] = slots_from_fading(
+                gains, probabilities[feasible], self.fading.mean
+            )
+            success[feasible] = True
+        if self.max_retransmissions is not None:
+            cap = self.max_retransmissions + 1
+            success &= slots <= cap
+            slots = np.minimum(slots, float(cap))
         slots = slots.astype(np.int64)
         return BatchTransmissionResult(
             success=success,

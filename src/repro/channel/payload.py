@@ -33,6 +33,24 @@ class PayloadModel:
     sequence_length: int = 4
     bits_per_value: int = 32
 
+    @classmethod
+    def from_model_config(cls, model) -> "PayloadModel":
+        """Payload sizes for a :class:`~repro.split.config.ModelConfig`.
+
+        The six shared fields are copied here — the single place they are
+        listed — so the protocol cannot drift out of sync with the model
+        architecture.  ``model`` is duck-typed (the channel layer does not
+        import the split layer).
+        """
+        return cls(
+            image_height=model.image_height,
+            image_width=model.image_width,
+            pooling_height=model.pooling_height,
+            pooling_width=model.pooling_width,
+            sequence_length=model.sequence_length,
+            bits_per_value=model.bits_per_value,
+        )
+
     def __post_init__(self):
         for name in (
             "image_height",

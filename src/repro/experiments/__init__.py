@@ -59,8 +59,11 @@ from repro.experiments.table1_privacy_success import (
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "COMPRESSION_ARTIFACT_SCHEMA_VERSION",
+    "CompressionParetoResult",
     "FLEET_ARTIFACT_SCHEMA_VERSION",
     "FleetScalingResult",
+    "run_compression_pareto",
     "run_fleet_scaling",
     "BandwidthSweepRow",
     "BlockageComparisonResult",
@@ -127,6 +130,9 @@ _LAZY_EXPORTS = {
     "FLEET_ARTIFACT_SCHEMA_VERSION": "fig_fleet_scaling",
     "FleetScalingResult": "fig_fleet_scaling",
     "run_fleet_scaling": "fig_fleet_scaling",
+    "COMPRESSION_ARTIFACT_SCHEMA_VERSION": "fig_compression_pareto",
+    "CompressionParetoResult": "fig_compression_pareto",
+    "run_compression_pareto": "fig_compression_pareto",
 }
 
 

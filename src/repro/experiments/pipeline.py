@@ -339,6 +339,7 @@ def experiment_specs() -> Dict[str, ExperimentSpec]:
         fig2_feature_maps,
         fig3a_learning_curves,
         fig3b_power_prediction,
+        fig_compression_pareto,
         fig_fleet_scaling,
         table1_privacy_success,
     )
@@ -365,6 +366,11 @@ def experiment_specs() -> Dict[str, ExperimentSpec]:
             metrics=fig_fleet_scaling.result_metrics,
             # The sweep's historical fleet cell: N in {1, 2, 4}, both modes.
             run_kwargs={"ue_counts": (1, 2, 4)},
+        ),
+        "pareto": ExperimentSpec(
+            name="pareto",
+            run=fig_compression_pareto.run_compression_pareto,
+            metrics=fig_compression_pareto.result_metrics,
         ),
         "table1": ExperimentSpec(
             name="table1",

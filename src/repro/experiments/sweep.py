@@ -60,8 +60,9 @@ logger = get_logger("experiments.sweep")
 #: Version of the artifact JSON layout.  v2 added the per-scheme streaming
 #: communication metrics (``comm_*`` keys) to the fig3a cell metrics; v3 adds
 #: the optional top-level ``resume`` bookkeeping block on resumed sweeps (the
-#: cell schema is unchanged).
-ARTIFACT_SCHEMA_VERSION = 3
+#: cell schema is unchanged); v4 adds the ``pareto`` experiment's per-codec
+#: accuracy/``comm_*``/payload-bit metrics.
+ARTIFACT_SCHEMA_VERSION = 4
 
 #: Top-level artifact keys that describe the run environment, not the
 #: science; :func:`canonical_artifact` strips them.

@@ -137,11 +137,23 @@ class ProportionalScheduler(MediumScheduler):
     """Weighted turns: per-UE quantum proportional to its payload size.
 
     The smallest payload in the phase gets a quantum of one slot; every other
-    UE gets ``round(payload / smallest)`` slots per turn.  Without payload
-    sizes (or with equal ones) this is plain round-robin.
+    UE gets ``round(payload / smallest)`` slots per turn, capped at
+    ``max_quantum``.  Without the cap, a heterogeneous fleet (e.g. a float32
+    UE next to an int4 or top-k UE) would yield multi-thousand-slot
+    contiguous bursts that starve the small-payload members for entire
+    quanta.  Without payload sizes (or with equal ones) this is plain
+    round-robin.
     """
 
     name = "proportional"
+
+    #: Default burst-length cap, in slots per turn.
+    DEFAULT_MAX_QUANTUM = 64
+
+    def __init__(self, max_quantum: int = DEFAULT_MAX_QUANTUM):
+        if max_quantum < 1:
+            raise ValueError("max_quantum must be at least 1")
+        self.max_quantum = int(max_quantum)
 
     def _quanta(self, slots, payload_bits):
         if payload_bits is None:
@@ -152,7 +164,7 @@ class ProportionalScheduler(MediumScheduler):
         if (bits <= 0).any():
             raise ValueError("payload_bits must be strictly positive")
         quanta = np.maximum(1, np.round(bits / bits.min())).astype(np.int64)
-        return quanta
+        return np.minimum(quanta, self.max_quantum)
 
 
 #: Built-in disciplines, keyed by their registry name.

@@ -508,13 +508,17 @@ class FleetTrainer(NormalizedEvaluationMixin):
 
             # Scatter the cut-layer gradients back to the members whose
             # downlink was decoded; the rest lose their client-side update.
+            # Each delivered slice passes through its member's downlink
+            # codec, exactly as complete_step does for the single-UE case.
             offset = 0
             for index in decoded:
                 batch_length = len(batches[index][2])
                 member_slice = cut_gradient[offset : offset + batch_length]
                 offset += batch_length
                 if downlinks[index].success:
-                    members[index].ue.backward(member_slice)
+                    members[index].ue.backward(
+                        members[index].protocol.transmit_cut_gradient(member_slice)
+                    )
                     members[index].ue.apply_update()
                 else:
                     members[index].ue.zero_grad()

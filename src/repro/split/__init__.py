@@ -1,6 +1,14 @@
 """Core package: the multimodal split-learning framework of the paper."""
 from repro.split.bs import BSServer
 from repro.split.checkpoint import CHECKPOINT_VERSION, Checkpoint
+from repro.split.codecs import (
+    CODEC_NAMES,
+    IdentityCodec,
+    PayloadCodec,
+    TopKCodec,
+    UniformQuantizerCodec,
+    codec_from_name,
+)
 from repro.split.config import (
     PAPER_MAX_EPOCHS,
     PAPER_TARGET_RMSE_DB,
@@ -32,7 +40,12 @@ __all__ = [
     "BSServer",
     "BasePredictor",
     "CHECKPOINT_VERSION",
+    "CODEC_NAMES",
     "Checkpoint",
+    "IdentityCodec",
+    "PayloadCodec",
+    "TopKCodec",
+    "UniformQuantizerCodec",
     "EpochRecord",
     "NormalizedEvaluationMixin",
     "ExperimentConfig",
@@ -53,6 +66,7 @@ __all__ = [
     "build_bs_rnn",
     "build_pooling_compressor",
     "build_ue_cnn",
+    "codec_from_name",
     "paper_model_configs",
     "predictor_for_scheme",
 ]

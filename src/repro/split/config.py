@@ -5,6 +5,7 @@ from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 from repro.channel.params import PAPER_CHANNEL_PARAMS, WirelessChannelParams
+from repro.split.codecs import CODEC_NAMES, DEFAULT_TOPK_FRACTION
 
 #: RMSE (dB) at which the paper stops training.
 PAPER_TARGET_RMSE_DB = 2.7
@@ -36,6 +37,11 @@ class ModelConfig:
         use_image: include the image branch (False = RF-only baseline).
         use_rf: include the RF power input (False = image-only baseline).
         bits_per_value: bit depth of transmitted activations/gradients.
+        codec: payload codec applied to the cut-layer tensors before
+            transmission (one of :data:`repro.split.codecs.CODEC_NAMES`;
+            ``"identity"`` reproduces the paper's uncompressed payloads).
+        codec_topk_fraction: fraction of cut-tensor elements kept by the
+            ``"topk"`` codec (ignored by the other codecs).
     """
 
     image_height: int = 40
@@ -51,6 +57,8 @@ class ModelConfig:
     use_image: bool = True
     use_rf: bool = True
     bits_per_value: int = 32
+    codec: str = "identity"
+    codec_topk_fraction: float = DEFAULT_TOPK_FRACTION
 
     def __post_init__(self):
         if self.image_height <= 0 or self.image_width <= 0:
@@ -73,6 +81,12 @@ class ModelConfig:
             raise ValueError("at least one of use_image / use_rf must be True")
         if self.bits_per_value <= 0:
             raise ValueError("bits_per_value must be positive")
+        if self.codec.lower() not in CODEC_NAMES:
+            raise ValueError(
+                f"codec must be one of {CODEC_NAMES}, got {self.codec!r}"
+            )
+        if not 0.0 < self.codec_topk_fraction <= 1.0:
+            raise ValueError("codec_topk_fraction must be in (0, 1]")
 
     @property
     def feature_map_height(self) -> int:
@@ -117,7 +131,12 @@ class ModelConfig:
         if self.is_one_pixel:
             pooling += " (1-pixel)"
         base = "Img+RF" if self.use_rf else "Img-only"
-        return f"{base}, pooling {pooling}"
+        scheme = f"{base}, pooling {pooling}"
+        # The identity codec keeps the pre-codec labels (and therefore the
+        # checkpoint scheme-match guard) unchanged.
+        if self.codec != "identity":
+            scheme += f", codec {self.codec}"
+        return scheme
 
 
 @dataclass(frozen=True)

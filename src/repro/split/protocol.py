@@ -28,6 +28,12 @@ from repro.channel.arq import ArqSession, StepCommunication
 from repro.channel.params import WirelessChannelParams
 from repro.channel.payload import PayloadModel
 from repro.split.bs import BSServer
+from repro.split.codecs import (
+    DOWNLINK_STREAM,
+    UPLINK_STREAM,
+    PayloadCodec,
+    codec_from_name,
+)
 from repro.split.config import ExperimentConfig
 from repro.split.ue import UEClient
 from repro.utils.seeding import SeedLike, spawn_generators
@@ -64,10 +70,12 @@ class ComputePhase:
     invokable.
 
     Attributes:
-        features: cut-layer activations ``(batch, L, F)`` (``None`` for the
-            RF-only baseline).
-        uplink_payload_bits / downlink_payload_bits: cut-layer payload sizes
-            for this minibatch (0 when there is no image branch).
+        features: codec-decoded cut-layer activations ``(batch, L, F)`` — the
+            lossy tensor the BS will see (``None`` for the RF-only baseline).
+        uplink_payload_bits / downlink_payload_bits: *encoded* cut-layer
+            payload sizes for this minibatch (0 when there is no image
+            branch); the downlink uses the codec's deterministic bound since
+            the gradient does not exist yet at phase time.
         compute_elapsed_s: UE-side computation time charged for the phase.
     """
 
@@ -107,15 +115,14 @@ class SplitTrainingProtocol:
         self._training_mode = True
 
         self.payload_model: Optional[PayloadModel] = None
+        self.codec: Optional[PayloadCodec] = None
         self.arq: Optional[ArqSession] = None
         if model.use_image:
-            self.payload_model = PayloadModel(
-                image_height=model.image_height,
-                image_width=model.image_width,
-                pooling_height=model.pooling_height,
-                pooling_width=model.pooling_width,
-                sequence_length=model.sequence_length,
+            self.payload_model = PayloadModel.from_model_config(model)
+            self.codec = codec_from_name(
+                model.codec,
                 bits_per_value=model.bits_per_value,
+                topk_fraction=model.codec_topk_fraction,
             )
             self.arq = ArqSession(
                 params=config.channel,
@@ -156,6 +163,12 @@ class SplitTrainingProtocol:
     ) -> ComputePhase:
         """Compute phase of a training step: UE forward pass + payload sizing.
 
+        The cut-layer activations are passed through the payload codec here:
+        ``features`` holds the *decoded* (lossy) tensor the BS will actually
+        see, and ``uplink_payload_bits`` the *encoded* size the ARQ must move.
+        The downlink is sized by the codec's deterministic bound — the
+        gradient tensor does not exist yet when the exchange is simulated.
+
         No channel RNG is consumed — the communication phase is left to the
         caller (either :meth:`training_step` via the session's own
         :meth:`~repro.channel.arq.ArqSession.exchange`, or a fleet medium
@@ -170,12 +183,25 @@ class SplitTrainingProtocol:
                 compute_elapsed_s=0.0,
             )
         assert self.ue is not None and self.payload_model is not None
+        assert self.codec is not None
         features = self.ue.forward(image_sequences)
         batch_size = len(image_sequences)
+        expected_elements = (
+            self.payload_model.values_per_image
+            * self.payload_model.sequence_length
+            * batch_size
+        )
+        if features.size != expected_elements:
+            raise ValueError(
+                f"cut tensor holds {features.size} elements but the payload "
+                f"model sizes {expected_elements}: the protocol's payload "
+                "accounting has diverged from the UE architecture"
+            )
+        features, uplink_bits = self.codec.encode_decode(features, UPLINK_STREAM)
         return ComputePhase(
             features=features,
-            uplink_payload_bits=self.payload_model.uplink_payload_bits(batch_size),
-            downlink_payload_bits=self.payload_model.downlink_payload_bits(batch_size),
+            uplink_payload_bits=uplink_bits,
+            downlink_payload_bits=self.codec.sized_payload_bits(expected_elements),
             compute_elapsed_s=training.ue_compute_time_s,
         )
 
@@ -213,7 +239,7 @@ class SplitTrainingProtocol:
         )
         if model.use_image and cut_gradient is not None:
             assert self.ue is not None
-            self.ue.backward(cut_gradient)
+            self.ue.backward(self.transmit_cut_gradient(cut_gradient))
             self.ue.apply_update()
         self.bs.apply_update()
         return StepResult(
@@ -222,6 +248,20 @@ class SplitTrainingProtocol:
             communication=communication,
             updated=True,
         )
+
+    def transmit_cut_gradient(self, cut_gradient: np.ndarray) -> np.ndarray:
+        """Pass the BS's cut-layer gradient through the downlink codec.
+
+        Returns the decoded (lossy) gradient the UE backpropagates.  The
+        payload size was already charged via the codec's deterministic bound
+        in :meth:`begin_step`; this advances the codec's downlink state
+        (e.g. the top-k error-feedback residual), so it is called only for
+        steps whose downlink was actually delivered.
+        """
+        if self.codec is None:
+            return cut_gradient
+        decoded, _ = self.codec.encode_decode(cut_gradient, DOWNLINK_STREAM)
+        return decoded
 
     def abort_step(self) -> None:
         """Discard a step after a lost exchange: clear both halves' gradients."""
@@ -263,8 +303,13 @@ class SplitTrainingProtocol:
             stop = min(start + batch_size, count)
             features = None
             if model.use_image:
-                assert self.ue is not None
-                features = self.ue.forward(image_sequences[start:stop])
+                assert self.ue is not None and self.codec is not None
+                # The BS predicts from codec-decoded activations, matching
+                # what it was trained on; preview() is stateless, so
+                # inference never advances codec (error-feedback) state.
+                features = self.codec.preview(
+                    self.ue.forward(image_sequences[start:stop])
+                )
             rf_batch = rf_sequences[start:stop] if model.use_rf else None
             predictions[start:stop] = self.bs.predict(features, rf_batch)
         if was_training:
@@ -277,8 +322,9 @@ class SplitTrainingProtocol:
 
         Covers the UE half (weights + optimizer), the BS half (unless
         ``include_bs=False`` — the fleet stores its shared BS once, outside
-        the per-member protocols) and the ARQ session (fading RNG streams and
-        aggregate statistics).
+        the per-member protocols), the ARQ session (fading RNG streams and
+        aggregate statistics) and any payload-codec state (the top-k
+        error-feedback residuals).
         """
         state: dict = {}
         if self.ue is not None:
@@ -287,6 +333,10 @@ class SplitTrainingProtocol:
             state["bs"] = self.bs.state_dict()
         if self.arq is not None:
             state["arq"] = self.arq.state_dict()
+        if self.codec is not None:
+            codec_state = self.codec.state_dict()
+            if codec_state:
+                state["codec"] = codec_state
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -297,6 +347,8 @@ class SplitTrainingProtocol:
             self.bs.load_state_dict(state["bs"])
         if self.arq is not None:
             self.arq.load_state_dict(state["arq"])
+        if self.codec is not None:
+            self.codec.load_state_dict(state.get("codec", {}))
 
     # -- mode switches ---------------------------------------------------------------------
     @property

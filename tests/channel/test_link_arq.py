@@ -466,3 +466,98 @@ def test_history_ring_buffer_is_bounded():
     assert session.statistics.steps == 0
     with pytest.raises(ValueError):
         ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0, history_limit=-1)
+
+
+# -- per-step payload arrays (codec-sized payloads) ----------------------------------
+
+
+def test_transmit_many_array_matches_sequential_transmits():
+    """A per-step payload array consumes fading draws exactly like scalars."""
+    payloads = [
+        payload_for_success_probability(p) for p in (0.3, 0.9, 0.5, 0.99, 0.7)
+    ] * 4
+    batched = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=11)
+    scalar = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=11)
+    batch = batched.transmit_many(np.array(payloads), len(payloads))
+    results = [scalar.transmit(bits) for bits in payloads]
+    assert [int(s) for s in batch.slots_used] == [r.slots_used for r in results]
+    assert [bool(s) for s in batch.success] == [r.success for r in results]
+    assert batch.total_elapsed_s == pytest.approx(sum(r.elapsed_s for r in results))
+    # And the streams stay aligned afterwards.
+    probe = payloads[0]
+    assert batched.transmit(probe).slots_used == scalar.transmit(probe).slots_used
+
+
+def test_transmit_many_array_with_infeasible_entries():
+    """Infeasible entries fail without a draw, feasible ones draw in order."""
+    feasible = payload_for_success_probability(0.5)
+    infeasible = 1e9  # far beyond any slot's capacity
+    payloads = np.array([feasible, infeasible, feasible, infeasible, feasible])
+    batched = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=21)
+    scalar = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=21)
+    batch = batched.transmit_many(payloads, len(payloads))
+    results = [scalar.transmit(bits) for bits in payloads]
+    assert [bool(s) for s in batch.success] == [True, False, True, False, True]
+    assert [int(s) for s in batch.slots_used] == [r.slots_used for r in results]
+    assert [bool(s) for s in batch.success] == [r.success for r in results]
+
+
+def test_transmit_many_array_length_mismatch():
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    with pytest.raises(ValueError, match="payload_bits"):
+        link.transmit_many(np.array([1000.0, 2000.0]), 3)
+    with pytest.raises(ValueError):
+        link.transmit_many(np.ones((2, 2)) * 1000.0, 4)
+
+
+def test_exchange_many_arrays_match_sequential_exchanges():
+    """Per-step uplink/downlink arrays replay the scalar exchange stream."""
+    uplinks = np.array(
+        [payload_for_success_probability(p) for p in (0.3, 0.8, 0.5, 0.95)] * 5
+    )
+    downlinks = np.array(
+        [
+            payload_for_success_probability(p, "downlink")
+            for p in (0.9, 0.4, 0.7, 0.6)
+        ]
+        * 5
+    )
+    batched = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=1, seed=9)
+    sequential = ArqSession(params=PAPER_CHANNEL_PARAMS, max_retransmissions=1, seed=9)
+    result = batched.exchange_many(uplinks, downlinks, len(uplinks))
+    steps = [sequential.exchange(u, d) for u, d in zip(uplinks, downlinks)]
+    assert [int(s) for s in result.uplink_slots] == [
+        step.uplink.slots_used for step in steps
+    ]
+    assert [int(s) for s in result.downlink_slots] == [
+        step.downlink.slots_used if step.downlink else 0 for step in steps
+    ]
+    assert [bool(s) for s in result.success] == [step.success for step in steps]
+    assert result.total_elapsed_s == pytest.approx(
+        sum(step.total_elapsed_s for step in steps)
+    )
+    assert batched.statistics.mean_slots_per_step == pytest.approx(
+        sequential.statistics.mean_slots_per_step
+    )
+
+
+def test_exchange_many_mixed_scalar_and_array():
+    """A scalar downlink pairs with a per-step uplink array (and vice versa)."""
+    uplink = payload_for_success_probability(0.5)
+    downlinks = np.full(8, payload_for_success_probability(0.6, "downlink"))
+    batched = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=4)
+    sequential = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=4)
+    result = batched.exchange_many(uplink, downlinks, 8)
+    steps = [sequential.exchange(uplink, float(downlinks[i])) for i in range(8)]
+    assert [bool(s) for s in result.success] == [step.success for step in steps]
+    assert [int(s) for s in result.downlink_slots] == [
+        step.downlink.slots_used if step.downlink else 0 for step in steps
+    ]
+
+
+def test_exchange_many_array_length_mismatch():
+    session = ArqSession(params=PAPER_CHANNEL_PARAMS, seed=0)
+    with pytest.raises(ValueError, match="uplink_payload_bits"):
+        session.exchange_many(np.array([1000.0]), 1000.0, 2)
+    with pytest.raises(ValueError, match="downlink_payload_bits"):
+        session.exchange_many(1000.0, np.array([1000.0, 2000.0, 3000.0]), 2)

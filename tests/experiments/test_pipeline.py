@@ -199,9 +199,9 @@ def test_run_fig3a_with_options_matches_plain_run(smoke_scale, smoke_split, tmp_
     )
 
 
-def test_experiment_specs_cover_the_five_runners(smoke_scale, smoke_dataset):
+def test_experiment_specs_cover_the_registered_runners(smoke_scale, smoke_dataset):
     specs = experiment_specs()
-    assert set(specs) == {"fig2", "fig3a", "fig3b", "fleet", "table1"}
+    assert set(specs) == {"fig2", "fig3a", "fig3b", "fleet", "pareto", "table1"}
     metrics = specs["table1"].run_cell(smoke_scale, dataset=smoke_dataset)
     assert metrics and all(isinstance(value, float) for value in metrics.values())
 

@@ -72,6 +72,57 @@ def test_n2_resume_is_bit_identical(mode, config, small_split, tmp_path):
             assert np.array_equal(value, restored[key]), (mode, stop_after, key)
 
 
+@pytest.mark.parametrize("mode", FLEET_MODES)
+def test_n2_topk_codec_resume_is_bit_identical(mode, config, small_split, tmp_path):
+    """Per-member top-k error-feedback residuals survive a fleet checkpoint."""
+    topk_config = dataclasses.replace(
+        config,
+        model=dataclasses.replace(
+            config.model, codec="topk", codec_topk_fraction=0.25
+        ),
+    )
+    fleet_config = FleetConfig(num_ues=2, mode=mode)
+    reference_trainer = FleetTrainer(topk_config, fleet_config)
+    reference = reference_trainer.fit(
+        small_split.train, small_split.validation, max_rounds=MAX_ROUNDS
+    )
+    reference_weights = fleet_weights(reference_trainer)
+
+    stop_after = MAX_ROUNDS - 1
+    path = tmp_path / f"topk-{mode}.npz"
+    FleetTrainer(topk_config, fleet_config).fit(
+        small_split.train,
+        small_split.validation,
+        max_rounds=stop_after,
+        checkpoint_path=path,
+    )
+    resumed_trainer = FleetTrainer(topk_config, fleet_config)
+    resumed = resumed_trainer.fit(
+        small_split.train,
+        small_split.validation,
+        max_rounds=MAX_ROUNDS,
+        resume_from=path,
+    )
+    assert records_of(resumed) == records_of(reference)
+    assert resumed.total_elapsed_s == reference.total_elapsed_s
+    restored = fleet_weights(resumed_trainer)
+    for key, value in reference_weights.items():
+        assert np.array_equal(value, restored[key]), (mode, key)
+    for ref_member, res_member in zip(
+        reference_trainer.fleet.members, resumed_trainer.fleet.members
+    ):
+        ref_state = ref_member.protocol.codec.state_dict()["residuals"]
+        res_state = res_member.protocol.codec.state_dict()["residuals"]
+        assert ref_state, (mode, ref_member.index)  # residuals did accumulate
+        assert set(ref_state) == set(res_state)
+        for stream, residual in ref_state.items():
+            assert np.array_equal(residual, res_state[stream]), (
+                mode,
+                ref_member.index,
+                stream,
+            )
+
+
 def test_rotation_checkpoint_preserves_weight_holder(config, small_split, tmp_path):
     fleet_config = FleetConfig(num_ues=2, mode="rotation")
     path = tmp_path / "rotation.npz"

@@ -103,9 +103,10 @@ def test_proportional_matches_reference_simulation():
         slots = rng.integers(1, 30, size=count).tolist()
         bits = (rng.integers(1, 5, size=count) * 1000.0).tolist()
         result = scheduler.schedule(slots, payload_bits=bits)
-        quanta = np.maximum(
-            1, np.round(np.array(bits) / min(bits))
-        ).astype(int)
+        quanta = np.minimum(
+            np.maximum(1, np.round(np.array(bits) / min(bits))).astype(int),
+            scheduler.max_quantum,
+        )
         expected = reference_completions(slots, quanta.tolist())
         assert result.completion_slots.tolist() == expected
         assert result.total_slots == sum(slots)
@@ -121,6 +122,59 @@ def test_proportional_heavy_payload_gets_bursts():
     round_robin = RoundRobinScheduler().schedule(slots)
     assert proportional.completion_slots[0] < round_robin.completion_slots[0]
     assert proportional.total_slots == round_robin.total_slots == 40
+
+
+def test_proportional_quantum_is_capped():
+    # A 1000x payload ratio (float32 UE next to a top-k UE) must not produce
+    # thousand-slot bursts: the quantum saturates at max_quantum.
+    slots = [200, 2]
+    bits = [1_000_000.0, 1000.0]
+    capped = ProportionalScheduler().schedule(slots, payload_bits=bits)
+    expected = reference_completions(
+        slots, [ProportionalScheduler.DEFAULT_MAX_QUANTUM, 1]
+    )
+    assert capped.completion_slots.tolist() == expected
+    # The small-payload UE is served once per capped cycle instead of waiting
+    # behind the heavy UE's entire demand in one uncapped burst.
+    uncapped = ProportionalScheduler(max_quantum=10**9).schedule(
+        slots, payload_bits=bits
+    )
+    assert capped.completion_slots[1] < uncapped.completion_slots[1]
+    assert uncapped.completion_slots[1] == sum(slots)
+
+
+def test_proportional_cap_preserves_work_conservation():
+    rng = np.random.default_rng(7)
+    for max_quantum in (1, 4, 64):
+        scheduler = ProportionalScheduler(max_quantum=max_quantum)
+        for _ in range(20):
+            count = int(rng.integers(1, 6))
+            slots = rng.integers(1, 40, size=count).tolist()
+            # Payload ratios well beyond the cap, so it always binds.
+            bits = (rng.integers(1, 4, size=count) * 1e6 + 1000.0).tolist()
+            result = scheduler.schedule(slots, payload_bits=bits)
+            quanta = np.minimum(
+                np.maximum(1, np.round(np.array(bits) / min(bits))).astype(int),
+                max_quantum,
+            )
+            expected = reference_completions(slots, quanta.tolist())
+            assert result.completion_slots.tolist() == expected
+            # Work conservation: the medium never idles, so the last finisher
+            # completes exactly when the total demand is drained.
+            assert result.completion_slots.max() == result.total_slots == sum(slots)
+
+
+def test_proportional_cap_of_one_is_round_robin():
+    slots = [30, 10, 5]
+    bits = [9000.0, 3000.0, 1000.0]
+    capped = ProportionalScheduler(max_quantum=1).schedule(slots, payload_bits=bits)
+    round_robin = RoundRobinScheduler().schedule(slots)
+    assert capped.completion_slots.tolist() == round_robin.completion_slots.tolist()
+
+
+def test_proportional_invalid_cap():
+    with pytest.raises(ValueError):
+        ProportionalScheduler(max_quantum=0)
 
 
 def test_proportional_payload_validation():

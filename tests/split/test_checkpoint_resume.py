@@ -92,6 +92,60 @@ def test_completed_checkpoint_returns_history_without_training(
     assert np.isfinite(trainer.evaluate(small_split.validation))
 
 
+def test_resume_with_topk_codec_is_bit_identical(config, small_split, tmp_path):
+    """The top-k error-feedback residuals ride in the checkpoint: a resumed
+    run sees the same compensated tensors as the uninterrupted one."""
+    topk = dataclasses.replace(
+        config,
+        model=dataclasses.replace(
+            config.model, codec="topk", codec_topk_fraction=0.25
+        ),
+    )
+    reference_trainer = SplitTrainer(topk)
+    reference = reference_trainer.fit(small_split.train, small_split.validation)
+    reference_weights = weights_of(reference_trainer)
+    # The residual buffers are live run state by the end of the reference run.
+    assert reference_trainer.protocol.codec.state_dict()["residuals"]
+
+    for stop_after in range(1, MAX_EPOCHS):
+        path = tmp_path / f"topk{stop_after}.npz"
+        SplitTrainer(topk).fit(
+            small_split.train,
+            small_split.validation,
+            max_epochs=stop_after,
+            checkpoint_path=path,
+        )
+        resumed_trainer = SplitTrainer(topk)
+        resumed = resumed_trainer.fit(
+            small_split.train, small_split.validation, resume_from=path
+        )
+        assert records_of(resumed) == records_of(reference)
+        assert resumed.total_elapsed_s == reference.total_elapsed_s
+        restored = weights_of(resumed_trainer)
+        for key, value in reference_weights.items():
+            assert np.array_equal(value, restored[key]), (stop_after, key)
+        reference_residuals = reference_trainer.protocol.codec.state_dict()
+        resumed_residuals = resumed_trainer.protocol.codec.state_dict()
+        for stream, residual in reference_residuals["residuals"].items():
+            assert np.array_equal(
+                residual, resumed_residuals["residuals"][stream]
+            ), (stop_after, stream)
+
+
+def test_checkpoint_rejects_mismatched_codec(config, small_split, tmp_path):
+    path = tmp_path / "identity.npz"
+    SplitTrainer(config).fit(
+        small_split.train, small_split.validation, max_epochs=1, checkpoint_path=path
+    )
+    topk = dataclasses.replace(
+        config, model=dataclasses.replace(config.model, codec="topk")
+    )
+    with pytest.raises(ValueError, match="scheme"):
+        SplitTrainer(topk).fit(
+            small_split.train, small_split.validation, resume_from=path
+        )
+
+
 def test_rf_only_trainer_checkpoints_without_arq(config, small_split, tmp_path):
     rf_only = dataclasses.replace(
         config, model=dataclasses.replace(config.model, use_image=False)

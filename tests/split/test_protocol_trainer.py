@@ -285,3 +285,79 @@ def test_history_time_to_reach():
     assert history.time_to_reach_db(4.5) == pytest.approx(2.0)
     assert history.time_to_reach_db(2.0) == float("inf")
     assert np.allclose(history.validation_rmse_curve_db, [6.0, 4.0, 3.0])
+
+
+# -- payload codecs in the protocol -------------------------------------------------
+
+
+def test_begin_step_rejects_mismatched_cut_tensor(model_config, training_config, gen):
+    """The runtime payload-accounting assertion: a cut tensor whose element
+    count diverges from the PayloadModel sizing must fail loudly, not ship
+    mis-sized payloads."""
+    from repro.channel import PayloadModel
+
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    # Simulate the accounting drifting out of sync with the architecture: a
+    # payload model sized for a different pooling region.
+    protocol.payload_model = PayloadModel(
+        image_height=8, image_width=8, pooling_height=4, pooling_width=4
+    )
+    images, _, _ = make_batch(gen)
+    with pytest.raises(ValueError, match="payload"):
+        protocol.begin_step(images)
+
+
+@pytest.mark.parametrize("codec", ["uint8", "int4", "topk"])
+def test_codec_shrinks_phase_payloads(codec, model_config, training_config, gen):
+    identity = SplitTrainingProtocol(
+        ExperimentConfig(model=model_config, training=training_config)
+    )
+    compressed = SplitTrainingProtocol(
+        ExperimentConfig(
+            model=replace(model_config, codec=codec), training=training_config
+        )
+    )
+    images, _, _ = make_batch(gen)
+    base = identity.begin_step(images)
+    phase = compressed.begin_step(images)
+    assert phase.uplink_payload_bits < base.uplink_payload_bits
+    assert phase.downlink_payload_bits < base.downlink_payload_bits
+    # The BS sees the decoded tensor, same shape as the raw activations.
+    assert phase.features.shape == base.features.shape
+
+
+def test_codec_step_trains_and_reports_encoded_bits(
+    model_config, training_config, gen
+):
+    protocol = SplitTrainingProtocol(
+        ExperimentConfig(
+            model=replace(model_config, codec="uint8"), training=training_config
+        )
+    )
+    images, powers, targets = make_batch(gen)
+    result = protocol.training_step(images, powers, targets)
+    assert result.updated
+    assert np.isfinite(result.loss)
+
+
+def test_lost_step_does_not_advance_downlink_residual(model_config, gen):
+    """Error feedback is a delivered-gradient mechanism: a lost exchange must
+    not fold the never-transmitted gradient into the downlink residual."""
+    starved_channel = WirelessChannelParams(
+        uplink=LinkParams(transmit_power_dbm=-40.0, bandwidth_hz=1e3),
+        downlink=LinkParams(transmit_power_dbm=40.0, bandwidth_hz=100e6),
+    )
+    training = TrainingConfig(batch_size=8, max_epochs=1, steps_per_epoch=1, seed=1)
+    config = ExperimentConfig(
+        model=replace(model_config, codec="topk"),
+        training=training,
+        channel=starved_channel,
+    )
+    protocol = SplitTrainingProtocol(config)
+    images, powers, targets = make_batch(gen)
+    result = protocol.training_step(images, powers, targets)
+    assert not result.updated
+    residuals = protocol.codec.state_dict()["residuals"]
+    assert "downlink" not in residuals

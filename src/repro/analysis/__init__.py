@@ -1,0 +1,39 @@
+"""Repo-aware static analysis enforcing the library's reproducibility invariants.
+
+Three invariant families, grown by convention since the seed, become
+machine-checked here:
+
+* **RNG discipline** (``RNG0xx``) — all randomness flows through seeded,
+  threaded :class:`numpy.random.Generator` streams.
+* **Checkpoint contract** (``CKP0xx``) — every piece of run state rides in a
+  ``state_dict``/``load_state_dict`` (or ``from_state``) pair; a runtime
+  introspection pass diffs live attributes against captured keys.
+* **Serialization discipline** (``SER0xx``) — all artifact/parameter writes
+  go through the atomic helpers in :mod:`repro.nn.serialization`.
+
+Plus hygiene checks (``HYG0xx``) the suite implicitly needs.  Run it with
+``python -m repro.analysis src/repro``; suppress a deliberate exception with
+a trailing ``# repro: noqa[CODE] -- reason`` comment (unused suppressions are
+themselves findings).
+"""
+from repro.analysis.contract import ContractSpec, run_contract_checks
+from repro.analysis.engine import ModuleContext, analyze_paths, discover_files
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.registry import Rule, all_rules, known_codes, rule
+from repro.analysis.suppressions import SuppressionIndex, parse_suppression_comment
+
+__all__ = [
+    "AnalysisReport",
+    "ContractSpec",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "SuppressionIndex",
+    "all_rules",
+    "analyze_paths",
+    "discover_files",
+    "known_codes",
+    "parse_suppression_comment",
+    "rule",
+    "run_contract_checks",
+]

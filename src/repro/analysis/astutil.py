@@ -1,0 +1,80 @@
+"""Shared AST helpers: alias-aware resolution of dotted call targets.
+
+Rules want to ask "is this call ``numpy.random.default_rng``?" regardless of
+whether the module spelled it ``np.random.default_rng``, ``npr.default_rng``
+or ``from numpy.random import default_rng``.  :class:`ImportMap` records the
+module's imports and canonicalizes attribute/name chains against them.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+
+class ImportMap:
+    """Canonical dotted names for the aliases one module imports.
+
+    Only absolute imports are tracked; a relative import maps to its literal
+    spelling (good enough for the repo, which imports absolutely throughout).
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        under ``import numpy as np``; a chain rooted in anything other than a
+        plain name (e.g. a call result) resolves to ``None``.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every call expression in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def call_target(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of a call's target, or ``None``."""
+    return imports.resolve(call.func)
+
+
+def contains_name_suffix(node: ast.AST, suffixes: tuple) -> bool:
+    """Whether any name/attribute inside ``node`` ends with one of ``suffixes``.
+
+    Used to recognize registered seed-salt sites: a ``SeedSequence`` call is
+    salted when one of its arguments references a ``*_SALT`` constant.
+    """
+    for child in ast.walk(node):
+        identifier = None
+        if isinstance(child, ast.Name):
+            identifier = child.id
+        elif isinstance(child, ast.Attribute):
+            identifier = child.attr
+        if identifier is not None and identifier.endswith(suffixes):
+            return True
+    return False

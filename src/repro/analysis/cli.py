@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro.analysis <paths>``.
+
+Exit codes: ``0`` clean, ``1`` at least one finding (including unused
+suppressions), ``2`` usage error (bad path, unknown code, bad arguments).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.registry import ENGINE_CODES, all_rules, known_codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-aware static analysis: RNG discipline, checkpoint "
+            "contract, serialization discipline, hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files and/or directories to scan (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        help="only report these codes (rules still run)",
+    )
+    parser.add_argument(
+        "--contract",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "runtime checkpoint-contract pass: auto enables it when the "
+            "scan covers the installed repro package (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _print_rule_table(stream) -> None:
+    print(f"{'CODE':<8} {'NAME':<32} SUMMARY", file=stream)
+    for rule in all_rules():
+        print(f"{rule.code:<8} {rule.name:<32} {rule.summary}", file=stream)
+    for code in sorted(ENGINE_CODES):
+        print(f"{code:<8} {'(engine)':<32} {ENGINE_CODES[code]}", file=stream)
+
+
+def _print_text_report(report: AnalysisReport, stream) -> None:
+    for finding in sorted(report.findings):
+        print(finding.render(), file=stream)
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    print(
+        f"{status}: {report.files_scanned} file(s), {report.rules_run} "
+        f"rule(s), {report.contract_specs_checked} contract spec(s)",
+        file=stream,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_table(sys.stdout)
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: src/repro)", file=sys.stderr)
+        return 2
+
+    select: Optional[List[str]] = args.select
+    if select is not None:
+        unknown = sorted(set(select) - set(known_codes()))
+        if unknown:
+            print(f"error: unknown codes: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(args.paths, select=select, contract=args.contract)
+    except FileNotFoundError as error:
+        print(f"error: no such path: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        _print_text_report(report, sys.stdout)
+    return report.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Analysis engine: walk files, parse once, run rules, apply suppressions.
+
+The engine owns everything rule modules should not care about: file
+discovery, parsing, the suppression lifecycle (filtering + unused detection),
+the optional runtime checkpoint-contract pass, and report assembly.
+"""
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.astutil import ImportMap
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.suppressions import SuppressionIndex
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, as handed to every rule."""
+
+    path: str
+    posix_path: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self):
+        self.imports = ImportMap(self.tree)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s source location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+    def in_module(self, *suffixes: str) -> bool:
+        """Whether this file IS one of the given repo modules (path suffix)."""
+        return self.posix_path.endswith(suffixes)
+
+    def in_tests(self) -> bool:
+        """Whether this file lives in a test tree."""
+        parts = Path(self.posix_path).parts
+        return "tests" in parts or Path(self.posix_path).name.startswith("test_")
+
+
+def discover_files(paths: Sequence[str | os.PathLike]) -> List[Path]:
+    """Python files under ``paths`` (files kept as is, directories walked).
+
+    Raises:
+        FileNotFoundError: when a requested path does not exist — a silent
+            empty scan would report "clean" for a typo.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    deduped = []
+    seen = set()
+    for path in files:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            deduped.append(path)
+    return deduped
+
+
+def _scan_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+    """All findings for one file: parse, run rules, apply suppressions."""
+    reported = str(path)
+    source = path.read_text(encoding="utf-8")
+    suppressions = SuppressionIndex.from_source(reported, source)
+    try:
+        tree = ast.parse(source, filename=reported)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=reported,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                code="AST001",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = ModuleContext(
+        path=reported,
+        posix_path=path.as_posix(),
+        source=source,
+        tree=tree,
+    )
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(context))
+    kept = suppressions.filter(raw)
+    kept.extend(suppressions.errors)
+    kept.extend(suppressions.unused())
+    return kept
+
+
+def _contract_requested(contract: str, files: Iterable[Path]) -> bool:
+    """Resolve the tri-state contract flag against the scanned file set.
+
+    ``"auto"`` enables the runtime pass exactly when the scan covers the
+    installed ``repro`` package sources — fixture trees in tests and
+    third-party directories don't trigger repo-specific introspection.
+    """
+    if contract == "on":
+        return True
+    if contract == "off":
+        return False
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    return any(
+        package_root in file.resolve().parents for file in files
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str | os.PathLike],
+    select: Optional[Iterable[str]] = None,
+    contract: str = "auto",
+) -> AnalysisReport:
+    """Run the full suite over ``paths`` and return the report.
+
+    Args:
+        paths: files and/or directories to scan.
+        select: optional code allow-list; when given, only those findings
+            survive (rules still run — selection is a report filter).
+        contract: ``"auto"`` / ``"on"`` / ``"off"`` for the runtime
+            checkpoint-contract introspection pass.
+    """
+    rules = all_rules()
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(_scan_file(path, rules))
+
+    specs_checked = 0
+    if _contract_requested(contract, files):
+        from repro.analysis.contract import run_contract_checks
+
+        contract_findings, specs_checked = run_contract_checks()
+        findings.extend(contract_findings)
+
+    if select is not None:
+        wanted = set(select)
+        findings = [finding for finding in findings if finding.code in wanted]
+
+    return AnalysisReport(
+        findings=sorted(findings),
+        files_scanned=len(files),
+        rules_run=len(rules),
+        contract_specs_checked=specs_checked,
+    )

@@ -1,0 +1,68 @@
+"""Finding and report data model for the static-analysis suite.
+
+A :class:`Finding` is one rule violation at one source location.  Findings are
+plain frozen dataclasses so reports sort deterministically and serialize to
+JSON without any custom encoder.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+#: Every rule code is three uppercase letters + three digits (e.g. ``RNG001``).
+CODE_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+def validate_code(code: str) -> str:
+    """Return ``code`` unchanged, raising ``ValueError`` on a malformed code."""
+    if not CODE_PATTERN.match(code):
+        raise ValueError(f"malformed rule code {code!r} (expected e.g. 'RNG001')")
+    return code
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sort order (path, line, column, code) is the report order, so output is
+    deterministic regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: int = 0
+    contract_specs_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """CLI exit code: 0 when clean, 1 when any finding survived."""
+        return 0 if self.clean else 1
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable report (schema documented in the README)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "contract_specs_checked": self.contract_specs_checked,
+            "findings": [asdict(finding) for finding in sorted(self.findings)],
+        }

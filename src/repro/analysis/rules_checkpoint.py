@@ -1,0 +1,69 @@
+"""Checkpoint-contract rules (``CKP0xx``, AST half).
+
+Run-state persistence (PR 5) works because every stateful class exposes a
+``state_dict``/``load_state_dict`` pair — a one-sided implementation is a
+checkpoint that either cannot be written or cannot be restored.  The AST half
+checks the pairing; the runtime half (:mod:`repro.analysis.contract`)
+instantiates registered classes and diffs live attributes against state keys.
+
+A ``from_state`` classmethod counts as the restore side: value-semantics
+records (``ArqStatistics``, the history dataclasses) rebuild fresh instances
+instead of mutating in place, and both idioms restore a checkpoint.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+#: Method names accepted as the restore side of the contract.
+RESTORE_METHODS = frozenset({"load_state_dict", "from_state"})
+
+
+def _method_names(class_node: ast.ClassDef) -> Set[str]:
+    return {
+        node.name
+        for node in class_node.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@rule(
+    "CKP001",
+    "state-dict-without-restore",
+    "class defines state_dict but no load_state_dict / from_state",
+)
+def check_capture_without_restore(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _method_names(node)
+        if "state_dict" in methods and not (methods & RESTORE_METHODS):
+            yield ctx.finding(
+                node,
+                "CKP001",
+                f"class {node.name} captures state (state_dict) but cannot "
+                "restore it; define load_state_dict or a from_state "
+                "classmethod",
+            )
+
+
+@rule(
+    "CKP002",
+    "restore-without-state-dict",
+    "class defines load_state_dict but no state_dict",
+)
+def check_restore_without_capture(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _method_names(node)
+        if "load_state_dict" in methods and "state_dict" not in methods:
+            yield ctx.finding(
+                node,
+                "CKP002",
+                f"class {node.name} restores state (load_state_dict) it "
+                "never captures; define the matching state_dict",
+            )

@@ -1,0 +1,230 @@
+"""RNG-discipline rules (``RNG0xx``).
+
+The repo's reproducibility story rests on one convention: every random draw
+flows through a seeded :class:`numpy.random.Generator` threaded from the
+experiment configuration (PR 2's byte-identical sweeps, PR 5's bit-identical
+resume).  These rules make the convention machine-checked:
+
+* ``RNG001`` — the legacy ``np.random.<dist>`` module-level API draws from
+  hidden global state no checkpoint can capture.
+* ``RNG002`` — ``np.random.default_rng()`` without a seed is fresh entropy;
+  the one sanctioned escape hatch (``utils.seeding.as_generator(None)``)
+  carries an explicit waiver.
+* ``RNG003`` — generators must be threaded as parameters, not re-created
+  ad hoc.  Exempt: ``repro/utils/seeding.py`` (the normalization layer) and
+  registered seed-salt sites (a ``SeedSequence`` fed a ``*_SALT`` constant,
+  the idiom behind ``PLACEMENT_SEED_SALT`` / ``FLEET_STREAM_SALT``).
+* ``RNG004`` — the stdlib ``random`` module is global-state entropy.
+* ``RNG005`` — wall-clock time is not a seed; runs seeded from ``time.*``
+  can never be replayed.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_target, contains_name_suffix, walk_calls
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+#: Legacy global-state draw functions on ``numpy.random``.
+LEGACY_NUMPY_DRAWS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "beta",
+        "binomial",
+        "chisquare",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "gumbel",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "pareto",
+        "poisson",
+        "power",
+        "rayleigh",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+#: Name suffixes marking a registered seed-salt site.
+SALT_SUFFIXES = ("_SALT", "SEED_SALT")
+
+#: The module allowed to construct generators from raw seeds.
+SEEDING_MODULE = ("repro/utils/seeding.py",)
+
+#: Time functions that must never feed a seed.
+TIME_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: Seeding constructs whose arguments RNG005 inspects for time-based entropy.
+SEEDING_CONSTRUCTS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+        "repro.utils.seeding.as_generator",
+        "repro.utils.seeding.spawn_generators",
+    }
+)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """A ``default_rng`` call with no argument (or an explicit ``None``)."""
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return len(call.args) == 1 and (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    )
+
+
+@rule(
+    "RNG001",
+    "numpy-global-rng",
+    "legacy np.random.<dist> module-level draw (hidden global state)",
+)
+def check_legacy_numpy_rng(ctx) -> Iterator[Finding]:
+    for call in walk_calls(ctx.tree):
+        target = call_target(call, ctx.imports)
+        if target is None:
+            continue
+        prefix, _, attribute = target.rpartition(".")
+        if prefix == "numpy.random" and attribute in LEGACY_NUMPY_DRAWS:
+            yield ctx.finding(
+                call,
+                "RNG001",
+                f"module-level numpy.random.{attribute}() draws from hidden "
+                "global state; draw from a threaded np.random.Generator",
+            )
+
+
+@rule(
+    "RNG002",
+    "unseeded-default-rng",
+    "np.random.default_rng() without a seed (fresh entropy)",
+)
+def check_unseeded_default_rng(ctx) -> Iterator[Finding]:
+    for call in walk_calls(ctx.tree):
+        target = call_target(call, ctx.imports)
+        if target == "numpy.random.default_rng" and _is_unseeded(call):
+            yield ctx.finding(
+                call,
+                "RNG002",
+                "unseeded default_rng() is fresh entropy; pass a seed, or "
+                "waive the sanctioned escape hatch explicitly",
+            )
+
+
+@rule(
+    "RNG003",
+    "adhoc-generator-construction",
+    "generator constructed outside utils.seeding / registered salt sites",
+)
+def check_adhoc_generator(ctx) -> Iterator[Finding]:
+    if ctx.in_module(*SEEDING_MODULE):
+        return
+    for call in walk_calls(ctx.tree):
+        target = call_target(call, ctx.imports)
+        if target not in (
+            "numpy.random.default_rng",
+            "numpy.random.Generator",
+            "numpy.random.SeedSequence",
+        ):
+            continue
+        if _is_unseeded(call) and target == "numpy.random.default_rng":
+            continue  # RNG002's finding; one violation, one code
+        if contains_name_suffix(call, SALT_SUFFIXES):
+            continue  # registered seed-salt site (derived, collision-free)
+        yield ctx.finding(
+            call,
+            "RNG003",
+            f"{target.rpartition('.')[2]}(...) constructed ad hoc; thread an "
+            "rng parameter (utils.seeding.as_generator / spawn_generators) "
+            "or derive it at a *_SALT-registered site",
+        )
+
+
+@rule(
+    "RNG004",
+    "stdlib-random",
+    "stdlib `random` module used in library code",
+)
+def check_stdlib_random(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.finding(
+                        node,
+                        "RNG004",
+                        "stdlib `random` is unseedable global state here; use "
+                        "a threaded np.random.Generator",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield ctx.finding(
+                    node,
+                    "RNG004",
+                    "stdlib `random` is unseedable global state here; use a "
+                    "threaded np.random.Generator",
+                )
+
+
+@rule(
+    "RNG005",
+    "time-entropy-seed",
+    "wall-clock time used as RNG seed material",
+)
+def check_time_entropy(ctx) -> Iterator[Finding]:
+    for call in walk_calls(ctx.tree):
+        target = call_target(call, ctx.imports)
+        if target not in SEEDING_CONSTRUCTS:
+            continue
+        argument_nodes = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in argument_nodes:
+            for inner in walk_calls(argument):
+                inner_target = call_target(inner, ctx.imports)
+                if inner_target in TIME_ENTROPY:
+                    yield ctx.finding(
+                        inner,
+                        "RNG005",
+                        f"{inner_target}() used as seed material; a run "
+                        "seeded from the clock can never be replayed",
+                    )

@@ -1,0 +1,162 @@
+"""Per-line ``# repro: noqa[CODE]`` suppressions with unused detection.
+
+Grammar (one suppression comment per line, anywhere in a trailing comment)::
+
+    # repro: noqa                       suppress every code on this line
+    # repro: noqa[RNG002]               suppress one code
+    # repro: noqa[RNG002, HYG001]       suppress several codes
+    # repro: noqa[RNG002] -- reason     optional free-text justification
+
+Comments are discovered with :mod:`tokenize`, so the marker inside a string
+literal is *not* a suppression.  Every suppression tracks whether it actually
+filtered a finding; unused ones are reported as ``NOQ001`` (a suppression that
+outlived its violation is a lie about the code), and malformed ones as
+``NOQ002``.  Neither engine code can itself be suppressed.
+"""
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import CODE_PATTERN, Finding
+
+#: Marker + optional bracketed code list + optional ``--``-separated reason.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"  # marker
+    r"(?P<brackets>\[(?P<codes>[^\]]*)\])?"  # optional [CODE, ...]
+    r"(?:\s*--\s*(?P<reason>.*\S))?"  # optional -- reason
+    r"\s*$"
+)
+
+#: Loose marker used to flag comments that *look* like suppressions but fail
+#: to parse (e.g. an unclosed bracket) instead of silently ignoring them.
+_NOQA_HINT_RE = re.compile(r"#\s*repro\s*:")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment.
+
+    ``codes`` is ``None`` for the bare form (suppress everything on the line).
+    """
+
+    line: int
+    codes: Optional[Tuple[str, ...]]
+    reason: Optional[str] = None
+    used: bool = False
+
+    def matches(self, code: str) -> bool:
+        return self.codes is None or code in self.codes
+
+
+def parse_suppression_comment(
+    comment: str, line: int
+) -> Tuple[Optional[Suppression], Optional[str]]:
+    """Parse one comment token's text.
+
+    Returns ``(suppression, error)``: a non-suppression comment yields
+    ``(None, None)``, a malformed suppression ``(None, message)``.
+    """
+    match = _NOQA_RE.search(comment)
+    if match is None:
+        if _NOQA_HINT_RE.search(comment) and "noqa" in comment:
+            return None, f"unparseable suppression comment: {comment.strip()!r}"
+        return None, None
+    if match.group("brackets") is None:
+        return Suppression(line=line, codes=None, reason=match.group("reason")), None
+    raw_codes = [part.strip() for part in match.group("codes").split(",")]
+    codes = tuple(code for code in raw_codes if code)
+    if not codes:
+        return None, "empty suppression code list (use bare `# repro: noqa`)"
+    bad = [code for code in codes if not CODE_PATTERN.match(code)]
+    if bad:
+        return None, f"malformed suppression codes: {', '.join(bad)}"
+    return Suppression(line=line, codes=codes, reason=match.group("reason")), None
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, with use tracking."""
+
+    path: str
+    by_line: Dict[int, Suppression] = field(default_factory=dict)
+    errors: List[Finding] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "SuppressionIndex":
+        """Collect suppression comments via the token stream of ``source``.
+
+        An untokenizable file contributes no suppressions (the engine reports
+        the syntax error separately through its parse pass).
+        """
+        index = cls(path=path)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, SyntaxError, ValueError, IndentationError):
+            return index
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line = token.start[0]
+            suppression, error = parse_suppression_comment(token.string, line)
+            if error is not None:
+                index.errors.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        column=token.start[1],
+                        code="NOQ002",
+                        message=error,
+                    )
+                )
+            elif suppression is not None:
+                index.by_line[line] = suppression
+        return index
+
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        """Drop suppressed findings, marking the matching suppressions used.
+
+        Engine codes ``NOQ001``/``NOQ002`` pass through unfiltered: a
+        suppression must not be able to hide suppression bookkeeping.
+        """
+        kept: List[Finding] = []
+        for finding in findings:
+            suppression = self.by_line.get(finding.line)
+            if (
+                suppression is not None
+                and finding.code not in ("NOQ001", "NOQ002")
+                and suppression.matches(finding.code)
+            ):
+                suppression.used = True
+            else:
+                kept.append(finding)
+        return kept
+
+    def unused(self) -> List[Finding]:
+        """``NOQ001`` findings for suppressions that filtered nothing."""
+        findings = []
+        for line in sorted(self.by_line):
+            suppression = self.by_line[line]
+            if suppression.used:
+                continue
+            label = (
+                "all codes"
+                if suppression.codes is None
+                else ", ".join(suppression.codes)
+            )
+            findings.append(
+                Finding(
+                    path=self.path,
+                    line=line,
+                    column=0,
+                    code="NOQ001",
+                    message=f"unused suppression [{label}]: no matching finding "
+                    "on this line — remove the noqa",
+                )
+            )
+        return findings

@@ -55,7 +55,7 @@ def slots_from_fading(
         raise ValueError("success_probability must be in (0, 1]")
     draws = np.asarray(draws, dtype=np.float64)
     if probability.ndim == 0:
-        if probability == 1.0:
+        if probability == 1.0:  # repro: noqa[HYG001] -- exact p=1 short-circuit
             return np.ones_like(draws)
         rate = -math.log1p(-probability)
         return np.maximum(np.ceil(draws / (mean * rate)), 1.0)

@@ -18,30 +18,28 @@ from repro.dataset.generator import (
     DepthPowerDataset,
     MmWaveDepthDatasetGenerator,
 )
+from repro.nn.serialization import atomic_savez
 from repro.scenarios import get_scenario, scenario_fingerprint
 
 
 def save_dataset(dataset: DepthPowerDataset, path: str | os.PathLike) -> None:
     """Persist a dataset to an ``.npz`` archive.
 
-    The archive is written to a temporary file and atomically renamed into
-    place, so concurrent sweep workers caching the same configuration never
-    observe a half-written archive.
+    The write goes through :func:`repro.nn.serialization.atomic_savez`
+    (temporary file + atomic rename), so concurrent sweep workers caching
+    the same configuration never observe a half-written archive.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_name(path.name + ".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
-    np.savez_compressed(
-        temporary,
-        images=dataset.images,
-        powers_dbm=dataset.powers_dbm,
-        line_of_sight_blocked=dataset.line_of_sight_blocked,
-        frame_interval_s=np.array(dataset.frame_interval_s),
-        metadata=np.array(json.dumps(dataset.metadata)),
+    atomic_savez(
+        path,
+        {
+            "images": dataset.images,
+            "powers_dbm": dataset.powers_dbm,
+            "line_of_sight_blocked": dataset.line_of_sight_blocked,
+            "frame_interval_s": np.array(dataset.frame_interval_s),
+            "metadata": np.array(json.dumps(dataset.metadata)),
+        },
+        compressed=True,
     )
-    os.replace(temporary, path)
 
 
 def load_dataset(path: str | os.PathLike) -> DepthPowerDataset:

@@ -51,6 +51,7 @@ from repro.experiments.model_cache import (
 )
 from repro.fleet.config import FleetConfig
 from repro.fleet.trainer import FleetHistory, FleetTrainer
+from repro.nn.serialization import atomic_write_text
 from repro.split.config import ExperimentConfig
 from repro.split.trainer import SplitTrainer, TrainingHistory
 from repro.utils.logging import get_logger
@@ -295,12 +296,9 @@ class ExperimentPipeline:
 
 def write_artifact(artifact: Dict[str, object], path: str | os.PathLike) -> Path:
     """Write an artifact JSON atomically and return the final path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    temporary.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-    os.replace(temporary, path)
-    return path
+    return Path(
+        atomic_write_text(path, json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    )
 
 
 # -- experiment registry --------------------------------------------------------------

@@ -23,7 +23,10 @@ class Dropout(Layer):
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
-        if not self.training or self.rate == 0.0:
+        if (
+            not self.training
+            or self.rate == 0.0  # repro: noqa[HYG001] -- exact rate-0 passthrough
+        ):
             self._mask = np.ones_like(inputs)
             return inputs
         keep_probability = 1.0 - self.rate

@@ -65,7 +65,7 @@ def _safe_correlation(a: np.ndarray, b: np.ndarray) -> float:
     b = b - b.mean()
     norm_a = float(np.linalg.norm(a))
     norm_b = float(np.linalg.norm(b))
-    if norm_a == 0.0 or norm_b == 0.0:
+    if norm_a == 0.0 or norm_b == 0.0:  # repro: noqa[HYG001] -- exact zero-norm guard
         return 0.0
     return float(a @ b / (norm_a * norm_b))
 
@@ -199,7 +199,10 @@ def correlation_leakage(
         rec_flat = reconstruction.ravel() - reconstruction.mean()
         raw_norm = np.linalg.norm(raw_flat)
         rec_norm = np.linalg.norm(rec_flat)
-        if raw_norm == 0.0 or rec_norm == 0.0:
+        if (
+            raw_norm == 0.0  # repro: noqa[HYG001] -- exact zero-norm guard
+            or rec_norm == 0.0  # repro: noqa[HYG001] -- exact zero-norm guard
+        ):
             correlations.append(0.0)
             continue
         correlations.append(float(abs(raw_flat @ rec_flat) / (raw_norm * rec_norm)))

@@ -81,7 +81,7 @@ def stress(distances: np.ndarray, embedding: np.ndarray) -> float:
     embedded = pairwise_distances(embedding)
     numerator = np.sum((distances - embedded) ** 2)
     denominator = np.sum(distances**2)
-    if denominator == 0.0:
+    if denominator == 0.0:  # repro: noqa[HYG001] -- exact zero-distance guard
         return 0.0
     return float(np.sqrt(numerator / denominator))
 

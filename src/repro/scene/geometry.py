@@ -98,7 +98,7 @@ def ray_box_intersection(
     # it intersects only if the origin lies inside the slab.  Inside-slab rays
     # are unconstrained by this axis (-inf / +inf); outside-slab rays can never
     # hit the box, which we encode by an empty interval (+inf / +inf).
-    parallel = directions == 0.0
+    parallel = directions == 0.0  # repro: noqa[HYG001] -- exact parallel-axis mask
     inside = (origins >= box.minimum) & (origins <= box.maximum)
     t_low = np.where(parallel, np.where(inside, -np.inf, np.inf), t_low)
     t_high = np.where(parallel, np.where(inside, np.inf, np.inf), t_high)
@@ -117,7 +117,7 @@ def segment_intersects_box(start, end, box: AxisAlignedBox) -> bool:
     end = as_point(end)
     direction = end - start
     length = float(np.linalg.norm(direction))
-    if length == 0.0:
+    if length == 0.0:  # repro: noqa[HYG001] -- exact degenerate-segment guard
         return box.contains(start)
     distance = ray_box_intersection(start[None, :], direction[None, :], box)[0]
     return bool(distance <= 1.0)
@@ -130,7 +130,7 @@ def point_segment_distance(point, start, end) -> float:
     end = as_point(end)
     direction = end - start
     squared_length = float(direction @ direction)
-    if squared_length == 0.0:
+    if squared_length == 0.0:  # repro: noqa[HYG001] -- exact degenerate-segment guard
         return float(np.linalg.norm(point - start))
     projection = float((point - start) @ direction) / squared_length
     projection = min(1.0, max(0.0, projection))
@@ -149,7 +149,7 @@ def project_point_onto_segment(point, start, end) -> Tuple[float, np.ndarray]:
     end = as_point(end)
     direction = end - start
     squared_length = float(direction @ direction)
-    if squared_length == 0.0:
+    if squared_length == 0.0:  # repro: noqa[HYG001] -- exact degenerate-segment guard
         return 0.0, start.copy()
     fraction = float((point - start) @ direction) / squared_length
     fraction = min(1.0, max(0.0, fraction))
@@ -184,7 +184,7 @@ class Pose:
 
 def _normalize(vector: np.ndarray) -> np.ndarray:
     norm = float(np.linalg.norm(vector))
-    if norm == 0.0:
+    if norm == 0.0:  # repro: noqa[HYG001] -- exact zero-vector guard
         raise ValueError("cannot normalize the zero vector")
     return vector / norm
 

@@ -33,7 +33,7 @@ class PowerNormalizer:
         if values.size == 0:
             raise ValueError("cannot fit a normalizer on empty data")
         std = float(values.std())
-        if std == 0.0:
+        if std == 0.0:  # repro: noqa[HYG001] -- exact degenerate-σ guard
             std = 1.0
         return cls(mean_dbm=float(values.mean()), std_db=std)
 

@@ -28,7 +28,11 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     if seed is None:
-        return np.random.default_rng()
+        # Policy decision (analysis suite, RNG002): ``seed=None`` stays a
+        # *public* escape hatch — callers who explicitly pass None are asking
+        # for fresh entropy, e.g. exploratory notebooks.  Library code must
+        # always thread a seed; this is the single waived construction site.
+        return np.random.default_rng()  # repro: noqa[RNG002] -- sanctioned escape hatch for explicit seed=None
     if isinstance(seed, (int, np.integer, np.random.SeedSequence)):
         return np.random.default_rng(seed)
     raise TypeError(f"unsupported seed type: {type(seed)!r}")

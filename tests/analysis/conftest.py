@@ -1,0 +1,25 @@
+"""Shared fixtures for the static-analysis tests."""
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint one dedented snippet; returns the list of finding codes.
+
+    The snippet lands in a neutral filename (no ``test_`` prefix, no module
+    the rules exempt), with the runtime contract pass off — fixture snippets
+    exercise the AST rules only.
+    """
+
+    def run(snippet: str, filename: str = "snippet.py"):
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(snippet))
+        report = analyze_paths([path], contract="off")
+        return [finding.code for finding in report.findings]
+
+    return run

@@ -1,0 +1,116 @@
+"""Suppression parser: grammar, use tracking, Hypothesis round trips."""
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionIndex, parse_suppression_comment
+
+
+def test_bare_noqa_suppresses_all_codes():
+    suppression, error = parse_suppression_comment("# repro: noqa", line=3)
+    assert error is None
+    assert suppression.codes is None
+    assert suppression.matches("RNG001") and suppression.matches("HYG002")
+
+
+def test_coded_noqa_parses_codes_and_reason():
+    comment = "# repro: noqa[RNG002, HYG001] -- exact guard, see PR 7"
+    suppression, error = parse_suppression_comment(comment, line=1)
+    assert error is None
+    assert suppression.codes == ("RNG002", "HYG001")
+    assert suppression.reason == "exact guard, see PR 7"
+    assert suppression.matches("RNG002")
+    assert not suppression.matches("SER001")
+
+
+def test_non_suppression_comment_is_ignored():
+    for comment in ("# plain comment", "# noqa: F401", "# repro is great"):
+        suppression, error = parse_suppression_comment(comment, line=1)
+        assert suppression is None and error is None
+
+
+def test_empty_brackets_are_malformed():
+    suppression, error = parse_suppression_comment("# repro: noqa[]", line=1)
+    assert suppression is None
+    assert "empty suppression" in error
+
+
+def test_bad_code_is_malformed():
+    suppression, error = parse_suppression_comment("# repro: noqa[RNG1]", line=1)
+    assert suppression is None
+    assert "malformed suppression codes" in error
+
+
+def test_trailing_garbage_is_malformed():
+    comment = "# repro: noqa[RNG001] because reasons"
+    suppression, error = parse_suppression_comment(comment, line=1)
+    assert suppression is None
+    assert "unparseable" in error
+
+
+def test_marker_inside_string_literal_is_not_a_suppression():
+    source = 'MESSAGE = "# repro: noqa[RNG001]"\n'
+    index = SuppressionIndex.from_source("m.py", source)
+    assert index.by_line == {} and index.errors == []
+
+
+def _finding(line, code="RNG001"):
+    return Finding(path="m.py", line=line, column=0, code=code, message="x")
+
+
+def test_filter_marks_suppressions_used_and_reports_unused():
+    source = (
+        "a = 1  # repro: noqa[RNG001]\n"
+        "b = 2  # repro: noqa[SER001]\n"
+    )
+    index = SuppressionIndex.from_source("m.py", source)
+    kept = index.filter([_finding(1), _finding(2)])
+    # Line 1 suppressed; line 2's suppression names the wrong code.
+    assert [finding.line for finding in kept] == [2]
+    unused = index.unused()
+    assert [finding.line for finding in unused] == [2]
+    assert unused[0].code == "NOQ001"
+
+
+def test_engine_codes_cannot_be_suppressed():
+    source = "a = 1  # repro: noqa\n"
+    index = SuppressionIndex.from_source("m.py", source)
+    kept = index.filter([_finding(1, "NOQ002")])
+    assert [finding.code for finding in kept] == ["NOQ002"]
+
+
+CODES = st.from_regex(r"[A-Z]{3}[0-9]{3}", fullmatch=True)
+REASONS = st.text(
+    alphabet=string.ascii_letters + string.digits + " _.,;:!?/()'",
+    min_size=1,
+    max_size=40,
+).filter(lambda text: text.strip() == text and text)
+
+
+@given(
+    codes=st.lists(CODES, min_size=1, max_size=5, unique=True),
+    reason=st.none() | REASONS,
+    pad=st.sampled_from(["", " ", "  "]),
+)
+def test_parser_round_trips_generated_comments(codes, reason, pad):
+    comment = f"#{pad}repro:{pad}noqa[{(',' + pad).join(codes)}]"
+    if reason is not None:
+        comment += f"{pad}--{pad}{reason}"
+    suppression, error = parse_suppression_comment(comment, line=7)
+    assert error is None
+    assert suppression.codes == tuple(codes)
+    assert suppression.reason == reason
+    assert suppression.line == 7
+    for code in codes:
+        assert suppression.matches(code)
+
+
+@given(codes=st.lists(CODES, min_size=1, max_size=4, unique=True), data=st.data())
+def test_parser_matches_exactly_the_listed_codes(codes, data):
+    other = data.draw(CODES.filter(lambda code: code not in codes))
+    suppression, _ = parse_suppression_comment(
+        f"# repro: noqa[{','.join(codes)}]", line=1
+    )
+    assert not suppression.matches(other)

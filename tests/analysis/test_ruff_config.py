@@ -1,0 +1,48 @@
+"""Ruff configuration stays pinned and in lockstep with CI.
+
+Ruff itself is not a runtime dependency of the repo and may be absent in the
+local environment; the actual `ruff check` run is exercised only when the
+binary is available (always true in the CI lint job, which installs the pin).
+"""
+import re
+import shutil
+import subprocess
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _ruff_config():
+    with open(REPO_ROOT / "pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)["tool"]["ruff"]
+
+
+def test_ruff_pin_matches_ci_workflow():
+    pinned = _ruff_config()["required-version"]
+    assert re.fullmatch(r"\d+\.\d+\.\d+", pinned)
+    workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert f"ruff=={pinned}" in workflow
+
+
+def test_ruff_scope_covers_sources_and_tests():
+    config = _ruff_config()
+    include = " ".join(config["include"])
+    for tree in ("src/", "tests/", "benchmarks/"):
+        assert tree in include
+    assert config["lint"]["select"] == ["E4", "E7", "E9", "F"]
+
+
+def test_ruff_check_passes_when_available():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff binary not installed in this environment")
+    result = subprocess.run(
+        [ruff, "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

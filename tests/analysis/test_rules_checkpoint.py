@@ -1,0 +1,168 @@
+"""Checkpoint-contract rules: AST pairing + runtime introspection pass."""
+import numpy as np
+
+from repro.analysis.contract import (
+    ContractSpec,
+    check_spec,
+    default_specs,
+    run_contract_checks,
+)
+
+
+def test_ckp001_flags_capture_without_restore(lint):
+    assert "CKP001" in lint(
+        """
+        class Stateful:
+            def state_dict(self):
+                return {}
+        """
+    )
+
+
+def test_ckp002_flags_restore_without_capture(lint):
+    assert "CKP002" in lint(
+        """
+        class Stateful:
+            def load_state_dict(self, state):
+                pass
+        """
+    )
+
+
+def test_paired_class_is_clean(lint):
+    codes = lint(
+        """
+        class Stateful:
+            def state_dict(self):
+                return {}
+
+            def load_state_dict(self, state):
+                pass
+        """
+    )
+    assert "CKP001" not in codes and "CKP002" not in codes
+
+
+def test_from_state_counts_as_restore(lint):
+    assert "CKP001" not in lint(
+        """
+        class Record:
+            def state_dict(self):
+                return {}
+
+            @classmethod
+            def from_state(cls, state):
+                return cls()
+        """
+    )
+
+
+def test_ckp001_suppressed(lint):
+    codes = lint(
+        """
+        class Stateful:  # repro: noqa[CKP001] -- fixture
+            def state_dict(self):
+                return {}
+        """
+    )
+    assert "CKP001" not in codes and "NOQ001" not in codes
+
+
+# -- runtime contract introspection ---------------------------------------------------
+
+
+class _OmitsBuffer:
+    """Deliberately broken: ``buffer`` is run state but never captured."""
+
+    def __init__(self):
+        self.buffer = np.zeros(3)
+        self.step = 0  # immutable value: ignored by the pass
+
+    def state_dict(self):
+        return {"step": self.step}
+
+    def load_state_dict(self, state):
+        self.step = int(state["step"])
+
+
+class _CapturesBuffer(_OmitsBuffer):
+    def state_dict(self):
+        return {"step": self.step, "buffer": self.buffer.copy()}
+
+
+def test_contract_pass_catches_deliberately_omitted_state_key():
+    findings = check_spec(ContractSpec(name="Omits", factory=_OmitsBuffer))
+    assert [finding.code for finding in findings] == ["CKP003"]
+    assert "'buffer'" in findings[0].message
+    assert findings[0].line > 0
+
+
+def test_contract_pass_accepts_captured_attribute():
+    assert check_spec(ContractSpec(name="Captures", factory=_CapturesBuffer)) == []
+
+
+def test_contract_pass_accepts_waived_attribute():
+    spec = ContractSpec(
+        name="Waived",
+        factory=_OmitsBuffer,
+        waived={"buffer": "transient fixture buffer"},
+    )
+    assert check_spec(spec) == []
+
+
+def test_contract_pass_reports_stale_waiver():
+    spec = ContractSpec(
+        name="Stale",
+        factory=_CapturesBuffer,
+        waived={"ghost": "never existed"},
+    )
+    findings = check_spec(spec)
+    assert [finding.code for finding in findings] == ["CKP004"]
+
+
+def test_contract_pass_accepts_aliased_attribute():
+    class AliasedName:
+        def __init__(self):
+            self._rng_state = np.zeros(2)
+
+        def state_dict(self):
+            return {"generator": self._rng_state.copy()}
+
+        def load_state_dict(self, state):
+            self._rng_state = np.asarray(state["generator"])
+
+    spec = ContractSpec(
+        name="Aliased",
+        factory=AliasedName,
+        aliases={"_rng_state": "generator"},
+    )
+    assert check_spec(spec) == []
+
+
+def test_contract_pass_reports_broken_factory_as_finding():
+    def explode():
+        raise RuntimeError("boom")
+
+    findings = check_spec(ContractSpec(name="Broken", factory=explode))
+    assert [finding.code for finding in findings] == ["CKP005"]
+    assert "boom" in findings[0].message
+
+
+def test_underscore_and_separator_matching():
+    class SlotOwner:
+        def __init__(self):
+            self._velocity = [np.zeros(2)]
+
+        def state_dict(self):
+            return {"slot/velocity/0": self._velocity[0].copy()}
+
+        def load_state_dict(self, state):
+            self._velocity[0][...] = state["slot/velocity/0"]
+
+    assert check_spec(ContractSpec(name="Slots", factory=SlotOwner)) == []
+
+
+def test_shipped_default_specs_are_clean():
+    findings, checked = run_contract_checks()
+    assert findings == []
+    assert checked == len(default_specs()) >= 10

@@ -1,0 +1,119 @@
+"""Fixture-snippet tests for the serialization-discipline rules."""
+
+
+def test_ser001_flags_direct_savez(lint):
+    assert "SER001" in lint(
+        """
+        import numpy as np
+
+        def persist(path, array):
+            np.savez(path, array=array)
+        """
+    )
+
+
+def test_ser001_flags_savez_compressed(lint):
+    assert "SER001" in lint(
+        """
+        import numpy as np
+
+        def persist(path, array):
+            np.savez_compressed(path, array=array)
+        """
+    )
+
+
+def test_ser001_negative_for_atomic_helper(lint):
+    assert "SER001" not in lint(
+        """
+        from repro.nn.serialization import atomic_savez
+
+        def persist(path, array):
+            atomic_savez(path, {"array": array})
+        """
+    )
+
+
+def test_ser001_suppressed(lint):
+    codes = lint(
+        """
+        import numpy as np
+
+        def persist(path, array):
+            np.savez(path, array=array)  # repro: noqa[SER001] -- fixture
+        """
+    )
+    assert "SER001" not in codes and "NOQ001" not in codes
+
+
+def test_ser002_flags_json_dump(lint):
+    assert "SER002" in lint(
+        """
+        import json
+
+        def persist(handle, payload):
+            json.dump(payload, handle)
+        """
+    )
+
+
+def test_ser002_negative_for_json_dumps(lint):
+    assert "SER002" not in lint(
+        """
+        import json
+
+        def render(payload):
+            return json.dumps(payload, sort_keys=True)
+        """
+    )
+
+
+def test_ser003_flags_write_mode_open(lint):
+    assert "SER003" in lint(
+        """
+        def persist(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+        """
+    )
+
+
+def test_ser003_flags_append_and_keyword_modes(lint):
+    assert "SER003" in lint('HANDLE = open("log.txt", mode="a")\n')
+    assert "SER003" in lint('HANDLE = open("log.bin", "wb")\n')
+
+
+def test_ser003_flags_path_write_text(lint):
+    assert "SER003" in lint(
+        """
+        from pathlib import Path
+
+        def persist(path, text):
+            Path(path).write_text(text)
+        """
+    )
+
+
+def test_ser003_negative_for_reads(lint):
+    codes = lint(
+        """
+        from pathlib import Path
+
+        def load(path):
+            with open(path) as handle:
+                first = handle.read()
+            return first + Path(path).read_text()
+        """
+    )
+    assert "SER003" not in codes
+
+
+def test_ser003_suppressed(lint):
+    codes = lint(
+        """
+        def persist(path, text):
+            with open(path, "w") as handle:  # repro: noqa[SER003] -- fixture
+                handle.write(text)
+        """
+    )
+    assert "SER003" not in codes and "NOQ001" not in codes

@@ -1,0 +1,15 @@
+"""The suite must pass over its own codebase (standing CI gate)."""
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths
+
+
+def test_shipped_tree_is_clean_under_full_suite():
+    package_root = Path(repro.__file__).parent
+    report = analyze_paths([package_root], contract="on")
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"self-lint regressions:\n{rendered}"
+    assert report.exit_code() == 0
+    assert report.files_scanned > 50
+    assert report.contract_specs_checked >= 10

@@ -252,6 +252,34 @@ def default_specs() -> List[ContractSpec]:
 
         return TopKCodec()
 
+    def stacked_ue_bank():
+        import numpy as np
+
+        from repro.fleet.bank import StackedUEBank
+        from repro.split.config import ModelConfig, TrainingConfig
+        from repro.split.ue import UEClient
+
+        model = ModelConfig(
+            image_height=8,
+            image_width=8,
+            pooling_height=4,
+            pooling_width=4,
+            cnn_channels=(2,),
+            rnn_hidden_size=8,
+            head_hidden_size=4,
+            sequence_length=2,
+        )
+        training = TrainingConfig()
+        bank = StackedUEBank(
+            [UEClient(model, training, seed=member) for member in range(2)]
+        )
+        # Exercise one masked round trip so transient caches and gradient
+        # scratch exist — the snapshot should look like mid-training state.
+        features = bank.forward(np.zeros((2, 1, 2, 8, 8)))
+        bank.backward(np.zeros_like(features))
+        bank.apply_updates(np.array([True, False]))
+        return bank
+
     shared_optimizer_waivers = {
         "parameters": "references to externally owned Parameter objects; "
         "their values ride in the model's own state_dict",
@@ -298,6 +326,19 @@ def default_specs() -> List[ContractSpec]:
         ),
         ContractSpec(name="UniformQuantizerCodec", factory=quantizer_codec),
         ContractSpec(name="TopKCodec", factory=topk_codec),
+        ContractSpec(
+            name="StackedUEBank",
+            factory=stacked_ue_bank,
+            waived={
+                "_clients": "references to externally owned UEClient objects; "
+                "their state rides in the members' own checkpoints",
+                "_param_refs": "references to externally owned Parameter "
+                "objects, the scatter() targets",
+                "_grads": "per-step gradient scratch, zeroed by every "
+                "apply_updates call",
+                "_cache": "forward-pass buffers, transient compute state",
+            },
+        ),
     ]
 
 

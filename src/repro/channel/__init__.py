@@ -18,6 +18,7 @@ from repro.channel.link import (
     decoding_success_probabilities,
     decoding_success_probability,
     snr_decoding_threshold,
+    transmit_across,
 )
 from repro.channel.params import (
     PAPER_CHANNEL_PARAMS,
@@ -45,4 +46,5 @@ __all__ = [
     "decoding_success_probability",
     "slots_from_fading",
     "snr_decoding_threshold",
+    "transmit_across",
 ]

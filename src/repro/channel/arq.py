@@ -26,6 +26,7 @@ from repro.channel.link import (
     BatchTransmissionResult,
     TransmissionResult,
     WirelessLink,
+    transmit_across,
 )
 from repro.channel.params import WirelessChannelParams
 from repro.utils.seeding import SeedLike, spawn_generators
@@ -495,3 +496,25 @@ class ArqSession:
         self.downlink.load_state_dict(state["downlink"])
         self.statistics = ArqStatistics.from_state(state["statistics"])
         self._recent.clear()
+
+
+def transmit_uplink_across(
+    sessions: List["ArqSession"], payload_bits: float | np.ndarray
+) -> BatchTransmissionResult:
+    """One unrecorded uplink per session, batched across sessions.
+
+    The fleet's batched backend moves every member's uplink payload through
+    :func:`repro.channel.link.transmit_across` in one call — draw-for-draw
+    identical per session to sequential :meth:`ArqSession.transmit_uplink`
+    calls, since every session owns its own fading streams.  Statistics are
+    folded in later via :meth:`ArqSession.record_exchange`, exactly like the
+    scalar fleet path.
+    """
+    return transmit_across([session.uplink for session in sessions], payload_bits)
+
+
+def transmit_downlink_across(
+    sessions: List["ArqSession"], payload_bits: float | np.ndarray
+) -> BatchTransmissionResult:
+    """Downlink twin of :func:`transmit_uplink_across` (unrecorded)."""
+    return transmit_across([session.downlink for session in sessions], payload_bits)

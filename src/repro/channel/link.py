@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -79,20 +80,23 @@ def decoding_success_probability(
 
 
 def decoding_success_probabilities(
-    mean_snr: float,
+    mean_snr: float | np.ndarray,
     payload_bits: np.ndarray,
     slot_duration_s: float,
-    bandwidth_hz: float,
+    bandwidth_hz: float | np.ndarray,
 ) -> np.ndarray:
     """Vectorized :func:`decoding_success_probability` over payload arrays.
 
     Element-for-element identical to the scalar form (same overflow guard,
     same ``pow``/``exp`` sequence), so mixed scalar/vector callers observe
-    the same probabilities bit for bit.
+    the same probabilities bit for bit.  ``mean_snr`` and ``bandwidth_hz``
+    may be per-payload arrays (broadcast against ``payload_bits``), which is
+    how :func:`transmit_across` evaluates one payload on each of many links
+    in a single call.
     """
-    if mean_snr <= 0:
+    if np.any(np.asarray(mean_snr, dtype=np.float64) <= 0):
         raise ValueError("mean_snr must be strictly positive")
-    if slot_duration_s <= 0 or bandwidth_hz <= 0:
+    if slot_duration_s <= 0 or np.any(np.asarray(bandwidth_hz, dtype=np.float64) <= 0):
         raise ValueError("slot_duration_s and bandwidth_hz must be positive")
     bits = np.asarray(payload_bits, dtype=np.float64)
     if (bits < 0).any():
@@ -416,6 +420,10 @@ class WirelessLink:
         """Restore state captured by :meth:`state_dict`."""
         self.fading.load_state_dict(state["fading"])
 
+    def _transmit_draw(self) -> float:
+        """One normalized fading draw (the draw :meth:`transmit` consumes)."""
+        return self.fading.sample_one() / self.fading.mean
+
     def expected_slots(self, payload_bits: float) -> float:
         """Expected number of slots until success (geometric distribution)."""
         probability = self.success_probability(payload_bits)
@@ -429,3 +437,72 @@ class WirelessLink:
         if math.isinf(slots):
             return math.inf
         return slots * self.params.slot_duration_s
+
+
+def transmit_across(
+    links: Sequence["WirelessLink"], payload_bits: float | np.ndarray
+) -> BatchTransmissionResult:
+    """One :meth:`WirelessLink.transmit` on *each* of many independent links.
+
+    The fleet's batched backend moves every member's payload in one call
+    instead of N scalar ``transmit`` calls.  Each link still consumes exactly
+    the draws scalar ``transmit`` would — one normalized fading draw from its
+    own stream when its payload is feasible, none otherwise — so the results
+    are draw-for-draw identical to calling ``links[i].transmit(bits[i])``
+    sequentially; only the probability/slot arithmetic is vectorized (through
+    :func:`decoding_success_probabilities` and :func:`slots_from_fading`,
+    both element-identical to their scalar twins).
+
+    Args:
+        links: one link per payload.  All links must share one slot duration
+            (per-link SNR, bandwidth and retransmission caps may differ).
+        payload_bits: scalar size shared by every payload, or one size per
+            link.
+
+    Returns:
+        One entry per link, in link order.
+    """
+    count = len(links)
+    if count == 0:
+        return BatchTransmissionResult.empty()
+    bits = np.asarray(payload_bits, dtype=np.float64)
+    if bits.ndim == 0:
+        bits = np.full(count, float(bits))
+    elif bits.shape != (count,):
+        raise ValueError(f"payload_bits has {len(bits)} entries for {count} links")
+    slot_durations = {link.params.slot_duration_s for link in links}
+    if len(slot_durations) != 1:
+        raise ValueError("transmit_across requires a shared slot duration")
+    slot = slot_durations.pop()
+
+    mean_snrs = np.array([link.mean_snr for link in links])
+    bandwidths = np.array([link.bandwidth_hz for link in links])
+    probabilities = decoding_success_probabilities(mean_snrs, bits, slot, bandwidths)
+    feasible = probabilities >= INFEASIBLE_SUCCESS_PROBABILITY
+    slots = np.ones(count, dtype=np.float64)
+    success = np.zeros(count, dtype=bool)
+    if feasible.any():
+        # One draw per feasible link, in link order, each from its own
+        # stream — infeasible links skip their stream like scalar transmit.
+        gains = np.array([links[i]._transmit_draw() for i in np.flatnonzero(feasible)])
+        slots[feasible] = slots_from_fading(gains, probabilities[feasible], 1.0)
+        success[feasible] = True
+    caps = np.array(
+        [
+            0 if link.max_retransmissions is None else link.max_retransmissions + 1
+            for link in links
+        ],
+        dtype=np.float64,
+    )
+    capped = caps > 0
+    if capped.any():
+        over = capped & (slots > caps)
+        success &= ~over
+        slots = np.where(capped, np.minimum(slots, caps), slots)
+    slots = slots.astype(np.int64)
+    return BatchTransmissionResult(
+        success=success,
+        slots_used=slots,
+        elapsed_s=slots * slot,
+        first_attempt_success=success & (slots == 1),
+    )

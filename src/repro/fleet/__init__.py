@@ -8,7 +8,9 @@ wall-clock time is medium-occupancy-accurate, and :class:`FleetTrainer`
 supports classic rotation split learning plus splitfed-style parallel
 averaging.  A fleet of one reproduces the single-UE trainer draw for draw.
 """
+from repro.fleet.bank import StackedUEBank
 from repro.fleet.config import (
+    FLEET_BACKENDS,
     FLEET_MODES,
     PARALLEL_AVERAGE,
     ROTATION,
@@ -31,6 +33,7 @@ from repro.fleet.scheduler import (
 from repro.fleet.trainer import FleetHistory, FleetRoundRecord, FleetTrainer
 
 __all__ = [
+    "FLEET_BACKENDS",
     "FLEET_MODES",
     "FLEET_STREAM_SALT",
     "FleetConfig",
@@ -45,6 +48,7 @@ __all__ = [
     "RoundRobinScheduler",
     "SCHEDULERS",
     "ScheduleResult",
+    "StackedUEBank",
     "UEFleet",
     "scheduler_from_name",
     "shard_indices",

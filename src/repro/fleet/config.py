@@ -12,6 +12,9 @@ ROTATION = "rotation"
 PARALLEL_AVERAGE = "parallel_average"
 FLEET_MODES = (ROTATION, PARALLEL_AVERAGE)
 
+#: Joint-step compute backends for parallel-average mode.
+FLEET_BACKENDS = ("auto", "loop", "batched")
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -39,6 +42,15 @@ class FleetConfig:
         seed: fleet-level seed for placement jitter and the extra UE RNG
             streams (default: the training seed).  UE 0's streams always come
             from the training seed alone, untouched by this value.
+        backend: joint-step compute backend for parallel-average mode.
+            ``"batched"`` stacks every member's weights and fuses the N
+            forward/backward passes, ARQ draws and codec calls into batched
+            kernels; ``"loop"`` runs the per-member Python loop.  The two are
+            bitwise-identical (same histories, same RNG streams, same
+            checkpoints — checkpoints are interchangeable across backends),
+            so the default ``"auto"`` picks ``"batched"`` for
+            parallel-average runs and ``"loop"`` elsewhere.  Rotation mode
+            has no joint step and rejects an explicit ``"batched"``.
     """
 
     num_ues: int = 2
@@ -48,6 +60,7 @@ class FleetConfig:
     steps_per_turn: Optional[int] = None
     max_rounds: Optional[int] = None
     seed: Optional[int] = None
+    backend: str = "auto"
 
     def __post_init__(self):
         if self.num_ues < 1:
@@ -67,3 +80,17 @@ class FleetConfig:
             raise ValueError("steps_per_turn must be positive")
         if self.max_rounds is not None and self.max_rounds <= 0:
             raise ValueError("max_rounds must be positive")
+        if self.backend not in FLEET_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {FLEET_BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "batched" and self.mode == ROTATION:
+            raise ValueError(
+                "the batched backend applies to parallel_average mode only"
+            )
+
+    def resolved_backend(self) -> str:
+        """The concrete backend: ``auto`` means batched for parallel-average."""
+        if self.backend != "auto":
+            return self.backend
+        return "batched" if self.mode == PARALLEL_AVERAGE else "loop"

@@ -32,11 +32,17 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.arq import ArqStatistics
+from repro.channel.arq import (
+    ArqStatistics,
+    transmit_downlink_across,
+    transmit_uplink_across,
+)
 from repro.dataset.sequences import SequenceDataset
+from repro.fleet.bank import StackedUEBank
 from repro.fleet.config import PARALLEL_AVERAGE, ROTATION, FleetConfig
 from repro.fleet.fleet import FleetMember, UEFleet, shard_indices
 from repro.fleet.scheduler import MediumScheduler, scheduler_from_name
+from repro.split.codecs import DOWNLINK_STREAM, UPLINK_STREAM, encode_decode_stacked
 from repro.split.checkpoint import (
     FLEET_KIND,
     Checkpoint,
@@ -152,6 +158,16 @@ class FleetTrainer(NormalizedEvaluationMixin):
             fleet_config.scheduler
         )
         self.normalizer: Optional[PowerNormalizer] = None
+        self._backend = fleet_config.resolved_backend()
+        self._bank: Optional[StackedUEBank] = None
+
+    def _ensure_bank(self) -> StackedUEBank:
+        """The lazily built stacked-parameter bank of the batched backend."""
+        if self._bank is None:
+            self._bank = StackedUEBank(
+                [member.ue for member in self.fleet.members]
+            )
+        return self._bank
 
     # -- data preparation -------------------------------------------------------------
     def _prepare_inputs(self, sequences: SequenceDataset):
@@ -406,6 +422,13 @@ class FleetTrainer(NormalizedEvaluationMixin):
         duration = 0.0
         busy = 0.0
         steps = 0
+        # The batched backend needs equal per-member batch sizes to stack
+        # them; an uneven final shard falls back to the (bitwise-identical)
+        # loop backend for the round.
+        use_batched = self._backend == "batched" and len(set(batch_sizes)) == 1
+        if use_batched:
+            self._ensure_bank().gather()
+        step_fn = self._joint_step_batched if use_batched else self._joint_step
         for _ in range(steps_per_turn):
             batches = [
                 self._draw_batch(member, shard, batch_size, images, powers, targets)
@@ -413,13 +436,15 @@ class FleetTrainer(NormalizedEvaluationMixin):
                     self.fleet, shards, batch_sizes
                 )
             ]
-            loss, step_lost, step_duration, step_busy = self._joint_step(batches)
+            loss, step_lost, step_duration, step_busy = step_fn(batches)
             duration += step_duration
             busy += step_busy
             lost += step_lost
             steps += self.fleet.num_ues
             if loss is not None:
                 losses.append(loss)
+        if use_batched:
+            self._bank.scatter()
         self.fleet.average_ue_weights()
         return losses, lost, duration, busy, steps
 
@@ -539,6 +564,145 @@ class FleetTrainer(NormalizedEvaluationMixin):
         # elapsed time of each direction is the member's *completion* time on
         # the shared medium (own slots plus queueing), while slots_used stays
         # the member's own demand.
+        lost = 0
+        for index, member in enumerate(members):
+            uplink_result = dataclass_replace(
+                uplinks[index], elapsed_s=float(uplink_completions[index])
+            )
+            downlink_result = None
+            if index in downlinks:
+                downlink_result = dataclass_replace(
+                    downlinks[index],
+                    elapsed_s=float(downlink_completions[index]),
+                )
+            step = member.arq.record_exchange(uplink_result, downlink_result)
+            if not step.success:
+                lost += 1
+                member.protocol.abort_step()
+        return loss_value, lost, duration, busy
+
+    def _joint_step_batched(
+        self, batches
+    ) -> Tuple[Optional[float], int, float, float]:
+        """Batched twin of :meth:`_joint_step` (the loop reference).
+
+        Same phases, same accounting, but the N member models run through the
+        :class:`StackedUEBank` kernels, the N ARQ draws go through
+        ``transmit_*_across`` and the codec calls are stacked — all of which
+        are bitwise/draw-for-draw identical to the loop per member, so the
+        two backends produce the same histories, RNG streams and weights.
+        The caller (:meth:`_parallel_round`) brackets the round with the
+        bank's ``gather``/``scatter``.
+        """
+        training = self.config.training
+        tau = self.fleet.slot_duration_s
+        members = self.fleet.members
+        bank = self._bank
+        assert bank is not None
+
+        # Compute phase: all members' CNN forwards fused into stacked GEMMs.
+        duration = training.ue_compute_time_s
+        image_stack = np.stack([image_batch for image_batch, _, _ in batches])
+        features = bank.forward(image_stack)
+
+        # Payload accounting, mirroring SplitTrainingProtocol.begin_step; the
+        # fleet builds every protocol from one config, so the deterministic
+        # downlink bound is shared.
+        protocol = members[0].protocol
+        assert protocol.payload_model is not None and protocol.codec is not None
+        batch_size = image_stack.shape[1]
+        expected_elements = (
+            protocol.payload_model.values_per_image
+            * protocol.payload_model.sequence_length
+            * batch_size
+        )
+        if features[0].size != expected_elements:
+            raise ValueError(
+                f"cut tensor holds {features[0].size} elements but the payload "
+                f"model sizes {expected_elements}: the protocol's payload "
+                "accounting has diverged from the UE architecture"
+            )
+        codecs = [member.protocol.codec for member in members]
+        features, uplink_bits = encode_decode_stacked(
+            codecs, features, UPLINK_STREAM
+        )
+        downlink_bits = float(protocol.codec.sized_payload_bits(expected_elements))
+
+        # Uplink phase: one batched draw sweep over the members' own sessions.
+        uplinks = transmit_uplink_across(
+            [member.arq for member in members], uplink_bits
+        )
+        uplink_schedule = self.scheduler.schedule(
+            uplinks.slots_used, payload_bits=uplink_bits
+        )
+        uplink_completions = uplink_schedule.completion_times_s(tau)
+        uplink_busy = uplink_schedule.busy_time_s(tau)
+        duration += uplink_busy
+        busy = uplink_busy
+
+        duration += training.bs_compute_time_s
+        decoded = [int(index) for index in np.flatnonzero(uplinks.success)]
+        loss_value: Optional[float] = None
+        downlinks = {}
+        downlink_completions = {}
+        if decoded:
+            bs_features = features[decoded].reshape(
+                (len(decoded) * batch_size,) + features.shape[2:]
+            )
+            rf_batch = (
+                np.concatenate([batches[index][1] for index in decoded], axis=0)
+                if self.config.model.use_rf
+                else None
+            )
+            target_batch = np.concatenate(
+                [batches[index][2] for index in decoded], axis=0
+            )
+            loss_value, cut_gradient = self.fleet.bs.compute_loss_and_gradients(
+                bs_features, rf_batch, target_batch
+            )
+
+            attempts = transmit_downlink_across(
+                [members[index].arq for index in decoded], downlink_bits
+            )
+            downlink_schedule = self.scheduler.schedule(
+                attempts.slots_used,
+                payload_bits=[downlink_bits] * len(decoded),
+            )
+            completions = downlink_schedule.completion_times_s(tau)
+            downlink_busy = downlink_schedule.busy_time_s(tau)
+            duration += downlink_busy
+            busy += downlink_busy
+            downlinks = {
+                index: attempts[position]
+                for position, index in enumerate(decoded)
+            }
+            downlink_completions = dict(zip(decoded, completions))
+
+            # Scatter delivered gradients through the member codecs, then one
+            # masked stacked backward/update; non-delivered members' lanes
+            # carry zero gradients and a False update mask.
+            position = {index: k for k, index in enumerate(decoded)}
+            delivered = [index for index in decoded if downlinks[index].success]
+            if delivered:
+                cut_stack = cut_gradient.reshape(
+                    (len(decoded), batch_size) + cut_gradient.shape[1:]
+                )
+                decoded_grads, _ = encode_decode_stacked(
+                    [members[index].protocol.codec for index in delivered],
+                    cut_stack[[position[index] for index in delivered]],
+                    DOWNLINK_STREAM,
+                )
+                grad_stack = np.zeros(features.shape)
+                grad_stack[delivered] = decoded_grads
+                mask = np.zeros(len(members), dtype=bool)
+                mask[delivered] = True
+                bank.backward(grad_stack)
+                bank.apply_updates(mask)
+                self.fleet.bs.apply_update()
+            else:
+                self.fleet.bs.zero_grad()
+                loss_value = None
+
         lost = 0
         for index, member in enumerate(members):
             uplink_result = dataclass_replace(

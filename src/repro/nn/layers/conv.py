@@ -4,11 +4,15 @@ The UE-side model of the paper is a small CNN operating on depth images, so a
 single, well-tested Conv2D layer (NCHW layout, configurable stride and
 padding) is the workhorse of the image branch.
 
-The hot path lowers convolution to one GEMM per minibatch: patches are
-gathered with :func:`numpy.lib.stride_tricks.sliding_window_view` into a
-column matrix (``im2col``) that is contracted against the flattened kernel.
-The column buffer is cached on the layer and reused across steps with the
-same geometry, so steady-state training does no per-step patch allocation.
+The hot path lowers convolution to batched GEMMs: patches are gathered with
+:func:`numpy.lib.stride_tricks.sliding_window_view` into a column matrix
+(``im2col``) that is contracted against the flattened kernel with
+``np.matmul`` (one broadcasted GEMM over the batch axis).  The column buffer
+is cached on the layer and reused across steps with the same geometry, so
+steady-state training does no per-step patch allocation.  The same matmul
+formulations generalize to a leading fleet-member axis bitwise-identically —
+see :mod:`repro.nn.stacked` for the stacked-weight variants used by the
+batched fleet backend.
 
 Naive per-output-pixel loop implementations are retained as
 ``conv2d_forward_reference`` / ``conv2d_backward_reference``.  They are the
@@ -305,8 +309,11 @@ class Conv2D(Layer):
         self._input_shape = inputs.shape
 
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
-        # (batch, out_channels, out_h * out_w)
-        output = np.einsum("of,bfp->bop", kernel_matrix, cols, optimize=True)
+        # (batch, out_channels, out_h * out_w): one broadcasted GEMM over the
+        # batch axis.  np.matmul here is bitwise-identical per batch slice to
+        # np.dot, which keeps the stacked fleet variants in repro.nn.stacked
+        # exactly equal to this path member-for-member.
+        output = np.matmul(kernel_matrix, cols)
         if self.use_bias:
             output += self.bias.value[None, :, None]
         return output.reshape(batch, self.out_channels, out_h, out_w)
@@ -321,12 +328,14 @@ class Conv2D(Layer):
         )
 
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
-        grad_kernel = np.einsum("bop,bfp->of", grad_flat, cols, optimize=True)
+        # Per-batch GEMMs reduced over the batch axis; matches the stacked
+        # fleet kernels bitwise (see repro.nn.stacked).
+        grad_kernel = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
         self.weight.grad += grad_kernel.reshape(self.weight.value.shape)
         if self.use_bias:
             self.bias.grad += grad_flat.sum(axis=(0, 2))
 
-        grad_cols = np.einsum("of,bop->bfp", kernel_matrix, grad_flat, optimize=True)
+        grad_cols = np.matmul(kernel_matrix.T, grad_flat)
         return col2im(
             grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
         )

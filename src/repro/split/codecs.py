@@ -227,6 +227,58 @@ class TopKCodec(PayloadCodec):
         }
 
 
+def encode_decode_stacked(
+    codecs: "list[PayloadCodec]",
+    values: np.ndarray,
+    stream: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :meth:`PayloadCodec.encode_decode` across fleet members.
+
+    ``values`` carries a leading member axis (one tensor slice per codec);
+    the result is the stacked decoded tensors plus one payload size per
+    member, member-for-member bitwise identical to calling each codec on its
+    own slice.  Homogeneous identity and uniform-quantizer fleets vectorize —
+    the quantizer's per-member range scalars reduce along the flattened
+    member rows, and every other operation is elementwise with member-scalar
+    broadcasts.  Stateful or mixed codec fleets fall back to a per-member
+    loop on the canonical codec objects, so data-dependent payloads,
+    residual error-feedback state and ``argpartition`` tie-ordering advance
+    exactly as on the scalar path.
+    """
+    members = len(codecs)
+    if members == 0 or len(values) != members:
+        raise ValueError("need one codec per member tensor slice")
+    first = codecs[0]
+    homogeneous = all(type(codec) is type(first) for codec in codecs[1:])
+    if homogeneous and type(first) is IdentityCodec:
+        if all(codec.bits_per_value == first.bits_per_value for codec in codecs):
+            per_member = float(first.sized_payload_bits(values[0].size))
+            return values, np.full(members, per_member)
+    if homogeneous and type(first) is UniformQuantizerCodec:
+        if all(codec.bits == first.bits for codec in codecs):
+            rows = values.reshape(members, -1)
+            low = rows.min(axis=1)
+            high = rows.max(axis=1)
+            constant = high == low
+            lanes = (members,) + (1,) * (values.ndim - 1)
+            step = np.where(constant, 1.0, (high - low) / first._levels)
+            low_lane = low.reshape(lanes)
+            step_lane = step.reshape(lanes)
+            quantized = np.rint((values - low_lane) / step_lane)
+            decoded = np.where(
+                constant.reshape(lanes),
+                np.broadcast_to(low_lane, values.shape),
+                low_lane + quantized * step_lane,
+            )
+            per_member = float(first.sized_payload_bits(values[0].size))
+            return decoded, np.full(members, per_member)
+    decoded = np.empty_like(np.asarray(values, dtype=np.float64))
+    bits = np.empty(members)
+    for member, codec in enumerate(codecs):
+        decoded[member], bits[member] = codec.encode_decode(values[member], stream)
+    return decoded, bits
+
+
 #: Registered codec names, as accepted by ``ModelConfig.codec``.
 CODEC_NAMES = ("identity", "uint8", "int4", "topk")
 

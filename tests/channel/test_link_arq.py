@@ -561,3 +561,97 @@ def test_exchange_many_array_length_mismatch():
         session.exchange_many(np.array([1000.0]), 1000.0, 2)
     with pytest.raises(ValueError, match="downlink_payload_bits"):
         session.exchange_many(1000.0, np.array([1000.0, 2000.0, 3000.0]), 2)
+
+
+def test_transmit_across_matches_sequential_transmits():
+    """transmit_across draws each link's fading exactly like its own transmit."""
+    from repro.channel import transmit_across
+
+    payload = payload_for_success_probability(0.3)
+    caps = [None, 0, 3, None, 1]
+    batched = [
+        WirelessLink(
+            params=PAPER_CHANNEL_PARAMS,
+            direction="uplink",
+            max_retransmissions=cap,
+            seed=index,
+        )
+        for index, cap in enumerate(caps)
+    ]
+    scalar = [
+        WirelessLink(
+            params=PAPER_CHANNEL_PARAMS,
+            direction="uplink",
+            max_retransmissions=cap,
+            seed=index,
+        )
+        for index, cap in enumerate(caps)
+    ]
+    for _ in range(30):
+        batch = transmit_across(batched, payload)
+        results = [link.transmit(payload) for link in scalar]
+        assert [int(s) for s in batch.slots_used] == [r.slots_used for r in results]
+        assert [bool(s) for s in batch.success] == [r.success for r in results]
+        assert [bool(s) for s in batch.first_attempt_success] == [
+            r.first_attempt_success for r in results
+        ]
+    # The streams stay aligned afterwards.
+    for batched_link, scalar_link in zip(batched, scalar):
+        assert (
+            batched_link.transmit(payload).slots_used
+            == scalar_link.transmit(payload).slots_used
+        )
+
+
+def test_transmit_across_per_link_payloads_and_infeasible():
+    """Per-link payload arrays work, and infeasible links consume no draw."""
+    from repro.channel import transmit_across
+
+    light = payload_for_success_probability(0.9)
+    batched = [
+        WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=index)
+        for index in range(3)
+    ]
+    scalar = [
+        WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=index)
+        for index in range(3)
+    ]
+    payloads = np.array([light, 1e12, payload_for_success_probability(0.4)])
+    batch = transmit_across(batched, payloads)
+    results = [link.transmit(bits) for link, bits in zip(scalar, payloads)]
+    assert not batch.success[1] and batch.slots_used[1] == 1  # fails fast
+    assert [int(s) for s in batch.slots_used] == [r.slots_used for r in results]
+    assert [bool(s) for s in batch.success] == [r.success for r in results]
+    probe = payload_for_success_probability(0.5)
+    for batched_link, scalar_link in zip(batched, scalar):
+        assert (
+            batched_link.transmit(probe).slots_used
+            == scalar_link.transmit(probe).slots_used
+        )
+
+
+def test_transmit_across_empty_and_validation():
+    from repro.channel import transmit_across
+
+    empty = transmit_across([], 1000.0)
+    assert len(empty) == 0
+    link = WirelessLink(params=PAPER_CHANNEL_PARAMS, direction="uplink", seed=0)
+    with pytest.raises(ValueError):
+        transmit_across([link], np.array([1000.0, 2000.0]))
+
+
+def test_transmit_uplink_across_matches_session_transmits():
+    """The fleet helpers sweep each session's own uplink/downlink in order."""
+    from repro.channel.arq import transmit_downlink_across, transmit_uplink_across
+
+    payload = payload_for_success_probability(0.4)
+    batched = [ArqSession(params=PAPER_CHANNEL_PARAMS, seed=index) for index in range(4)]
+    scalar = [ArqSession(params=PAPER_CHANNEL_PARAMS, seed=index) for index in range(4)]
+    up = transmit_uplink_across(batched, payload)
+    down = transmit_downlink_across(batched, payload)
+    expected_up = [session.transmit_uplink(payload) for session in scalar]
+    expected_down = [session.transmit_downlink(payload) for session in scalar]
+    assert [int(s) for s in up.slots_used] == [r.slots_used for r in expected_up]
+    assert [int(s) for s in down.slots_used] == [r.slots_used for r in expected_down]
+    assert [bool(s) for s in up.success] == [r.success for r in expected_up]
+    assert [bool(s) for s in down.success] == [r.success for r in expected_down]

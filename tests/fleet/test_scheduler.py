@@ -1,6 +1,8 @@
 """Tests for the shared-medium schedulers."""
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fleet import (
     ProportionalScheduler,
@@ -192,3 +194,85 @@ def test_scheduler_from_name():
     assert isinstance(scheduler_from_name("proportional"), ProportionalScheduler)
     with pytest.raises(ValueError):
         scheduler_from_name("fifo")
+
+
+# -- O(N log N) completions vs. the retained O(N^2) oracle ---------------------------
+
+
+def _completion_pair(slots, quanta):
+    from repro.fleet.scheduler import (
+        _weighted_round_robin_completions,
+        _weighted_round_robin_completions_reference,
+    )
+
+    slots = np.asarray(slots, dtype=np.int64)
+    quanta = np.asarray(quanta, dtype=np.int64)
+    return (
+        _weighted_round_robin_completions(slots, quanta),
+        _weighted_round_robin_completions_reference(slots, quanta),
+    )
+
+
+def test_fast_completions_match_oracle_and_simulation():
+    rng = np.random.default_rng(7)
+    for _ in range(100):
+        count = int(rng.integers(1, 12))
+        slots = rng.integers(1, 40, size=count)
+        quanta = rng.integers(1, 12, size=count)
+        fast, oracle = _completion_pair(slots, quanta)
+        assert fast.tolist() == oracle.tolist()
+        assert oracle.tolist() == reference_completions(
+            slots.tolist(), quanta.tolist()
+        )
+
+
+def test_fast_completions_match_oracle_at_scale():
+    rng = np.random.default_rng(11)
+    slots = rng.integers(1, 10**6, size=1000)
+    quanta = rng.integers(1, 64, size=1000)
+    fast, oracle = _completion_pair(slots, quanta)
+    assert fast.tolist() == oracle.tolist()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10**6),
+            st.integers(min_value=1, max_value=128),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_fast_completions_match_oracle_property(demands):
+    slots = [demand[0] for demand in demands]
+    quanta = [demand[1] for demand in demands]
+    fast, oracle = _completion_pair(slots, quanta)
+    assert fast.tolist() == oracle.tolist()
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=10**4), min_size=1, max_size=20),
+    st.integers(min_value=10**4, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_fast_completions_quanta_above_demand(slots, big_quantum):
+    # Quanta caps larger than any demand: every demand finishes in cycle 1,
+    # so completions degenerate to plain prefix sums in demand order.
+    quanta = [big_quantum] * len(slots)
+    fast, oracle = _completion_pair(slots, quanta)
+    assert fast.tolist() == oracle.tolist()
+    assert fast.tolist() == np.cumsum(slots).tolist()
+
+
+def test_fast_completions_single_demand_and_ties():
+    for slots, quanta in (
+        ([1], [1]),
+        ([64], [7]),
+        ([5, 5, 5], [2, 2, 2]),
+        ([10**12, 3], [1, 1]),
+        ([3, 3, 3, 3], [4, 4, 4, 4]),
+    ):
+        fast, oracle = _completion_pair(slots, quanta)
+        assert fast.tolist() == oracle.tolist()

@@ -14,6 +14,7 @@ from repro.split.codecs import (
     TopKCodec,
     UniformQuantizerCodec,
     codec_from_name,
+    encode_decode_stacked,
 )
 
 TENSORS = hnp.arrays(
@@ -210,3 +211,81 @@ def test_registry_rejects_unknown_name():
 def test_invalid_parameters_rejected(factory):
     with pytest.raises(ValueError):
         factory()
+
+
+# -- stacked (fleet) encode/decode --------------------------------------------------
+
+
+def _member_loop(codec_factory, values, stream):
+    codecs = [codec_factory() for _ in values]
+    decoded = np.empty_like(values)
+    bits = np.empty(len(values))
+    for member, codec in enumerate(codecs):
+        decoded[member], bits[member] = codec.encode_decode(values[member], stream)
+    return decoded, bits
+
+
+@pytest.mark.parametrize(
+    "codec_factory",
+    [
+        lambda: IdentityCodec(),
+        lambda: UniformQuantizerCodec(8),
+        lambda: UniformQuantizerCodec(4),
+    ],
+)
+def test_stacked_homogeneous_matches_member_loop(codec_factory):
+    rng = np.random.default_rng(6)
+    values = rng.standard_normal((5, 3, 2, 4))
+    values[2] = 1.25  # one constant member tensor (degenerate range)
+    codecs = [codec_factory() for _ in range(5)]
+    decoded, bits = encode_decode_stacked(codecs, values, UPLINK_STREAM)
+    expected_decoded, expected_bits = _member_loop(
+        codec_factory, values, UPLINK_STREAM
+    )
+    assert np.array_equal(decoded, expected_decoded)
+    assert np.array_equal(bits, expected_bits)
+
+
+def test_stacked_topk_advances_per_member_residuals():
+    """Stateful codecs fall back to the member loop on the canonical objects."""
+    rng = np.random.default_rng(9)
+    stacked_codecs = [TopKCodec(fraction=0.25) for _ in range(3)]
+    loop_codecs = [TopKCodec(fraction=0.25) for _ in range(3)]
+    for _ in range(4):
+        values = rng.standard_normal((3, 2, 8))
+        decoded, bits = encode_decode_stacked(
+            stacked_codecs, values, DOWNLINK_STREAM
+        )
+        for member, codec in enumerate(loop_codecs):
+            expected_decoded, expected_bits = codec.encode_decode(
+                values[member], DOWNLINK_STREAM
+            )
+            assert np.array_equal(decoded[member], expected_decoded)
+            assert bits[member] == expected_bits
+    for stacked_codec, loop_codec in zip(stacked_codecs, loop_codecs):
+        assert np.array_equal(
+            stacked_codec._residuals[DOWNLINK_STREAM],
+            loop_codec._residuals[DOWNLINK_STREAM],
+        )
+
+
+def test_stacked_mixed_codecs_fall_back_to_member_loop():
+    rng = np.random.default_rng(2)
+    values = rng.standard_normal((2, 4, 4))
+    codecs = [IdentityCodec(), UniformQuantizerCodec(8)]
+    decoded, bits = encode_decode_stacked(codecs, values, UPLINK_STREAM)
+    assert np.array_equal(decoded[0], values[0])
+    expected, expected_bits = UniformQuantizerCodec(8).encode_decode(
+        values[1], UPLINK_STREAM
+    )
+    assert np.array_equal(decoded[1], expected)
+    assert bits[1] == expected_bits
+
+
+def test_stacked_validates_member_count():
+    with pytest.raises(ValueError):
+        encode_decode_stacked([], np.zeros((0, 2)), UPLINK_STREAM)
+    with pytest.raises(ValueError):
+        encode_decode_stacked(
+            [IdentityCodec()], np.zeros((2, 3)), UPLINK_STREAM
+        )
